@@ -1,0 +1,9 @@
+"""E5 — regenerate the Fig. 2 area annotations and §IV-C overheads."""
+
+from repro.eval import static_models
+
+
+def test_area(report):
+    result = report(static_models.run_area)
+    assert abs(result.measured["ISSR vs SSR overhead %"] - 43) < 1
+    assert result.measured["cluster area overhead %"] < 1.0

@@ -1,0 +1,9 @@
+"""E8 — regenerate the §IV-A/B inline claims (peak utils/speedups)."""
+
+from repro.eval import claims
+
+
+def test_claims(report):
+    result = report(claims.run_claims, nnz=4096, npr=256, nrows=64)
+    assert abs(result.measured["SpVV util ISSR-16"] - 0.8) < 0.02
+    assert result.measured["CsrMV speedup ISSR-16"] > 6.3

@@ -1,0 +1,8 @@
+"""E10 — regenerate the §IV-A CsrMM claims (Ragusa18 edge case)."""
+
+from repro.eval import claims
+
+
+def test_csrmm(report):
+    result = report(claims.run_csrmm_claim)
+    assert result.measured["Ragusa18 utilization delta %"] < 0.5

@@ -1,0 +1,12 @@
+"""E1 — regenerate Fig. 4a: single-CC SpVV FPU utilization vs nnz."""
+
+from repro.eval import fig4a
+
+
+def test_fig4a(report):
+    result = report(fig4a.run,
+                    nnz_points=(2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048))
+    assert result.measured["issr16 util"] > 0.75
+    assert result.measured["issr32 util"] > 0.62
+    assert abs(result.measured["base util"] - 0.111) < 0.01
+    assert abs(result.measured["ssr util"] - 0.143) < 0.01

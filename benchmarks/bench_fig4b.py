@@ -1,0 +1,14 @@
+"""E2 — regenerate Fig. 4b: single-CC CsrMV speedups vs nnz/row."""
+
+from repro.eval import fig4b
+
+
+def test_fig4b(report):
+    result = report(fig4b.run,
+                    nnz_per_row=(1, 2, 4, 8, 16, 24, 32, 48, 64, 128, 256),
+                    nrows=96)
+    assert result.measured["issr16 speedup"] > 6.3   # paper limit: 7.2x
+    assert result.measured["issr32 speedup"] > 5.5   # paper limit: 6.0x
+    assert 1.2 < result.measured["ssr speedup"] <= 1.3
+    # 16-bit overtakes 32-bit in the paper's ballpark (~20 nnz/row)
+    assert 8 <= result.measured["16/32 crossover nnz/row"] <= 48

@@ -1,0 +1,12 @@
+"""E3 — regenerate Fig. 4c: cluster CsrMV speedup per matrix."""
+
+from repro.eval import fig4c
+
+
+def test_fig4c(report):
+    result = report(fig4c.run, scale=0.05)
+    assert result.measured["peak speedup"] > 4.5       # paper: up to 5.8x
+    # paper: 0.71 peak; at scale 0.05 the x-transfer/barrier overheads
+    # amortize over fewer nonzeros, capping the end-to-end peak ~0.45
+    # (the compute-phase peak is 0.63-0.67, see EXPERIMENTS.md E3)
+    assert result.measured["peak core utilization"] > 0.4

@@ -1,0 +1,9 @@
+"""E4/E7 — regenerate Fig. 4d: cluster CsrMV energy per matrix."""
+
+from repro.eval import fig4d
+
+
+def test_fig4d(report):
+    result = report(fig4d.run, scale=0.05)
+    assert result.measured["peak energy gain"] > 2.0   # paper: up to 2.7x
+    assert result.measured["issr pJ/mac"] < 70         # paper: 53 pJ

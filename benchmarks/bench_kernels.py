@@ -1,0 +1,30 @@
+"""Microbenchmarks of simulator throughput on the core kernels.
+
+These time the *simulator*, not the simulated hardware — useful for
+catching performance regressions in the Python model itself.
+"""
+
+from repro.kernels.csrmv import run_csrmv
+from repro.kernels.spvv import run_spvv
+from repro.workloads import random_csr, random_dense_vector, random_sparse_vector
+
+
+def test_sim_throughput_spvv_issr(benchmark):
+    x = random_dense_vector(4096, seed=1)
+    fiber = random_sparse_vector(4096, 2048, seed=2)
+    stats, _ = benchmark(lambda: run_spvv(fiber, x, "issr", 16))
+    benchmark.extra_info["sim_cycles"] = stats.cycles
+
+
+def test_sim_throughput_spvv_base(benchmark):
+    x = random_dense_vector(4096, seed=1)
+    fiber = random_sparse_vector(4096, 1024, seed=3)
+    stats, _ = benchmark(lambda: run_spvv(fiber, x, "base", 32))
+    benchmark.extra_info["sim_cycles"] = stats.cycles
+
+
+def test_sim_throughput_csrmv_issr(benchmark):
+    m = random_csr(64, 1024, 64 * 32, seed=4)
+    x = random_dense_vector(1024, seed=5)
+    stats, _ = benchmark(lambda: run_csrmv(m, x, "issr", 16))
+    benchmark.extra_info["sim_cycles"] = stats.cycles

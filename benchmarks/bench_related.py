@@ -1,0 +1,14 @@
+"""E9 — regenerate the §V related-work comparison table."""
+
+from repro.eval import fig4c, static_models
+
+
+def test_related(report):
+    e3 = fig4c.run(scale=0.05)
+
+    def runner():
+        return static_models.run_related(e3.measured["whole-run utilization"])
+
+    result = report(runner)
+    assert result.measured["vs Xeon Phi CVR"] > 30     # paper: 70x
+    assert result.measured["vs GTX 1080 Ti FP64"] > 1.5  # paper: 2.8x

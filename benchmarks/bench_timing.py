@@ -1,0 +1,9 @@
+"""E6 — regenerate the §IV-C critical-path results."""
+
+from repro.eval import static_models
+
+
+def test_timing(report):
+    result = report(static_models.run_timing)
+    assert result.measured["ssr path ps"] == 301
+    assert result.measured["issr path ps"] == 425

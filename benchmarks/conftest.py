@@ -1,0 +1,26 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one of the paper's figures/claims and
+prints the resulting table (run pytest with ``-s`` to see them). The
+pytest-benchmark timing wraps the whole experiment so regressions in
+simulator performance are visible too.
+"""
+
+import pytest
+
+
+def run_and_report(benchmark, fn, **kwargs):
+    """Benchmark ``fn(**kwargs)`` once and print its rendered table."""
+    result = benchmark.pedantic(lambda: fn(**kwargs), rounds=1, iterations=1)
+    print()
+    print(result.render())
+    for key, value in result.measured.items():
+        benchmark.extra_info[key] = value
+    return result
+
+
+@pytest.fixture
+def report(benchmark):
+    def _run(fn, **kwargs):
+        return run_and_report(benchmark, fn, **kwargs)
+    return _run

@@ -1,0 +1,67 @@
+"""PageRank on the Snitch cluster: repeated cluster CsrMV.
+
+Graph analytics is one of the sparse domains the paper's introduction
+motivates (SuiteSparse curates such matrices). This example builds a
+scale-free directed graph, turns its column-stochastic adjacency into
+CSR, and runs power iterations where every iteration is one
+double-buffered multicore CsrMV on the simulated 8-core cluster —
+comparing the ISSR-16 and BASE kernels end to end.
+
+Run:  python examples/graph_pagerank.py
+"""
+
+import numpy as np
+
+from repro.cluster import run_cluster_csrmv
+from repro.eval.report import render_table
+from repro.formats import CsrMatrix
+from repro.workloads import random_csr
+
+DAMPING = 0.85
+NODES = 192
+EDGES = NODES * 8
+ITERATIONS = 3
+
+
+def build_transition(seed=7):
+    """A column-stochastic transition matrix of a scale-free digraph."""
+    g = random_csr(NODES, NODES, EDGES, distribution="powerlaw", seed=seed)
+    dense = g.to_dense()
+    dense[dense != 0] = 1.0
+    out_deg = dense.sum(axis=1)
+    dense[out_deg == 0, :] = 1.0 / NODES  # dangling nodes -> teleport
+    dense /= dense.sum(axis=1, keepdims=True)
+    return CsrMatrix.from_dense(dense.T)  # P^T for x <- P^T x
+
+
+def main():
+    matrix = build_transition()
+    rank = np.full(NODES, 1.0 / NODES)
+    teleport = (1.0 - DAMPING) / NODES
+    totals = {"issr": 0, "base": 0}
+
+    for it in range(ITERATIONS):
+        stats_issr, y = run_cluster_csrmv(matrix, rank, "issr", 16)
+        stats_base, _ = run_cluster_csrmv(matrix, rank, "base", 32)
+        totals["issr"] += stats_issr.cycles
+        totals["base"] += stats_base.cycles
+        rank = DAMPING * y + teleport
+        print(f"iteration {it}: issr {stats_issr.cycles} cycles, "
+              f"base {stats_base.cycles} cycles, "
+              f"|rank|_1 = {rank.sum():.6f}")
+
+    expect = np.full(NODES, 1.0 / NODES)
+    for _ in range(ITERATIONS):
+        expect = DAMPING * matrix.spmv(expect) + teleport
+    assert np.allclose(rank, expect, atol=1e-12)
+
+    top = np.argsort(rank)[::-1][:5]
+    rows = [[int(n), rank[n]] for n in top]
+    print()
+    print(render_table("Top-5 PageRank nodes", ["node", "rank"], rows))
+    print(f"\ncluster speedup ISSR-16 over BASE: "
+          f"{totals['base'] / totals['issr']:.2f}x over {ITERATIONS} iterations")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,35 @@
+"""repro: an architectural reproduction of the ISSR paper.
+
+"Indirection Stream Semantic Register Architecture for Efficient
+Sparse-Dense Linear Algebra" (Scheffler, Zaruba, Schuiki, Hoefler,
+Benini — DATE 2021, arXiv:2011.08070), rebuilt as a cycle-level Python
+simulator of the Snitch core complex and cluster, with the SSR/ISSR
+streamers, the paper's kernels, and its full evaluation harness.
+
+Quick start::
+
+    from repro.workloads import random_csr, random_dense_vector
+    from repro.kernels import run_csrmv
+
+    A = random_csr(128, 1024, 128 * 32, seed=1)
+    x = random_dense_vector(1024, seed=2)
+    stats, y = run_csrmv(A, x, "issr", index_bits=16)
+    print(stats.cycles, stats.fpu_utilization)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for
+paper-vs-measured results.
+"""
+
+__version__ = "0.1.0"
+
+from repro import errors
+from repro.formats import CscMatrix, CsfTensor, CsrMatrix, SparseFiber
+
+__all__ = [
+    "errors",
+    "SparseFiber",
+    "CsrMatrix",
+    "CscMatrix",
+    "CsfTensor",
+    "__version__",
+]

@@ -1,0 +1,6 @@
+"""Multi-core Snitch cluster and its CsrMV runtime."""
+
+from repro.cluster.cluster import SnitchCluster
+from repro.cluster.runtime import ClusterCsrmv, ClusterStats, run_cluster_csrmv
+
+__all__ = ["SnitchCluster", "ClusterCsrmv", "ClusterStats", "run_cluster_csrmv"]

@@ -1,0 +1,26 @@
+"""The paper's contribution: SSR/ISSR stream lanes and the streamer.
+
+Public API:
+
+- :class:`~repro.core.lane.SsrLane` — affine stream semantic register,
+- :class:`~repro.core.issr_lane.IssrLane` — indirection-capable lane,
+- :class:`~repro.core.streamer.Streamer` — lanes + register switch,
+- :mod:`repro.core.config` — the memory-mapped configuration map,
+- helpers for building configuration writes from kernels.
+"""
+
+from repro.core import config
+from repro.core.affine import AffineIterator
+from repro.core.issr_lane import IssrLane
+from repro.core.lane import SsrLane
+from repro.core.serializer import IndexSerializer
+from repro.core.streamer import Streamer
+
+__all__ = [
+    "config",
+    "AffineIterator",
+    "IndexSerializer",
+    "SsrLane",
+    "IssrLane",
+    "Streamer",
+]

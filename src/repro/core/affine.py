@@ -1,0 +1,54 @@
+"""The SSR's four nested affine address iterators.
+
+"The four nested SSR affine address iterators are left unchanged: at
+each emitted datum, the stride of the outermost iterating loop is added
+onto a shared memory pointer" (§II-A). This class reproduces exactly
+that: an up-to-4-deep loop nest over (bound, stride) pairs with a single
+running pointer, plus the per-element repetition counter.
+"""
+
+
+class AffineIterator:
+    """Generates the address sequence of one affine stream job."""
+
+    __slots__ = ("_ptr", "_bounds", "_strides", "_counts", "_dims",
+                 "_repeat", "_rep_left", "done", "emitted")
+
+    def __init__(self, start, bounds, strides, dims, repeat=1):
+        self._ptr = start
+        self._dims = dims
+        self._bounds = tuple(bounds[:dims])
+        self._strides = tuple(strides[:dims])
+        self._counts = [0] * dims
+        self._repeat = repeat
+        self._rep_left = repeat
+        self.done = False
+        self.emitted = 0
+
+    def next_addr(self):
+        """Emit the next address and advance the loop nest."""
+        addr = self._ptr
+        self.emitted += 1
+        self._rep_left -= 1
+        if self._rep_left > 0:
+            return addr
+        self._rep_left = self._repeat
+
+        # Advance: innermost dimension is index 0. The stride of the
+        # outermost *iterating* loop (the one that wraps) is added last.
+        for d in range(self._dims):
+            self._counts[d] += 1
+            if self._counts[d] < self._bounds[d]:
+                self._ptr += self._strides[d]
+                return addr
+            self._counts[d] = 0
+            self._ptr -= self._strides[d] * (self._bounds[d] - 1)
+        self.done = True
+        return addr
+
+    @property
+    def total(self):
+        n = self._repeat
+        for b in self._bounds:
+            n *= b
+        return n

@@ -1,0 +1,185 @@
+"""The ISSR lane: streaming indirection.
+
+Extends the SSR lane with the paper's indirection mode (§II-A/B):
+
+- the affine iterator is re-purposed to walk the *index array* as a
+  contiguous stream of 64-bit words into a decoupling FIFO, regulated
+  by an outstanding-request counter (Fig. 1, label 4);
+- the index serializer extracts 16/32-bit indices and forms data
+  addresses ``data_base + (idx << (3 + extra_shift))`` (labels 5-7);
+- index fetches and data accesses share ONE memory port through a
+  round-robin multiplexer (Fig. 2, label F), capping the peak data
+  throughput at 2/3 (32-bit indices) or 4/5 (16-bit indices) of the
+  port bandwidth — the source of the 0.67/0.80 FPU utilization limits.
+
+Indirect *writes* turn the lane into a streaming scatter unit (§III-C).
+"""
+
+from repro.core.config import INDIRECT_READ, INDIRECT_WRITE
+from repro.core.lane import JOB_QUEUE_DEPTH, SsrLane
+from repro.core.serializer import IndexSerializer
+from repro.errors import SimulationError
+from repro.utils.fifo import Fifo
+
+#: 64-bit index words buffered ahead of the serializer.
+INDEX_FIFO_DEPTH = 4
+
+
+class IssrLane(SsrLane):
+    """A lane supporting both affine and indirect stream jobs.
+
+    By default index and data accesses share one memory port through
+    the round-robin mux (the paper's area-optimized choice). Passing a
+    dedicated ``idx_port`` models the paper's alternative — "omitted
+    entirely by providing three ports per core, trading higher
+    utilization and performance for approximately 1.5x larger
+    interconnect logic" — and lifts the peak data rate to 1/cycle.
+    """
+
+    def __init__(self, engine, port, lane_id=1, name="issr",
+                 fifo_depth=None, idx_fifo_depth=INDEX_FIFO_DEPTH,
+                 idx_port=None):
+        kwargs = {} if fifo_depth is None else {"fifo_depth": fifo_depth}
+        super().__init__(engine, port, lane_id=lane_id, name=name, **kwargs)
+        self.idx_port = idx_port
+        self.idx_fifo = Fifo(idx_fifo_depth, name=f"{name}.idx")
+        self.idx_inflight = 0
+        self._serializer = None
+        self._idx_words_requested = 0
+        self._idx_addr = 0
+        self._rep_left = 0
+        self._rep_addr = 0
+        self._last_pick_idx = False
+        # statistics
+        self.idx_reads = 0
+
+    # -- job control ----------------------------------------------------
+
+    def enqueue(self, job):
+        running = 1 if self._job_active() else 0
+        if len(self._jobs) + running > JOB_QUEUE_DEPTH:
+            return False
+        self._jobs.append(job)
+        return True
+
+    def _job_active(self):
+        if self._serializer is not None:
+            return not (self._serializer.done and self._rep_left == 0)
+        return self._iter is not None and not self._iter.done
+
+    @property
+    def busy(self):
+        return (bool(self._jobs) or self.inflight > 0 or self.idx_inflight > 0
+                or self._job_active() or bool(self.wfifo))
+
+    @property
+    def writes_drained(self):
+        if self.wfifo:
+            return False
+        if self._job is not None and self._job.is_write and self._job_active():
+            return False
+        return not any(j.is_write for j in self._jobs)
+
+    def _start_next_job(self):
+        if not self._jobs[0].is_indirect:
+            self._serializer = None
+            super()._start_next_job()
+            return
+        job = self._job = self._jobs.popleft()
+        self._iter = None
+        self._serializer = IndexSerializer(
+            idx_base=job.start,
+            count=job.bounds[0],
+            index_bits=job.index_bits,
+            data_base=job.data_base,
+            extra_shift=job.extra_shift,
+        )
+        self._idx_words_requested = 0
+        self._idx_addr = self._serializer.first_word_addr
+        self._rep_left = 0
+        self.idx_fifo.clear()
+
+    # -- data mover -------------------------------------------------------
+
+    def tick(self):
+        if not self._job_active():
+            if self._jobs and self.inflight == 0 and self.idx_inflight == 0:
+                self._start_next_job()
+        if self._serializer is None:
+            # affine mode: behave exactly like the base SSR lane
+            super().tick()
+            return
+        ser = self._serializer
+
+        # Refill the serializer from the index word FIFO.
+        if ser.needs_word and self.idx_fifo:
+            ser.feed(self.idx_fifo.pop())
+
+        want_idx = (self._idx_words_requested < ser.words_needed
+                    and len(self.idx_fifo) + self.idx_inflight < self.idx_fifo.depth)
+
+        if self.idx_port is not None:
+            # three-port configuration: no mux, both can issue per cycle
+            if want_idx and self.idx_port.idle:
+                self._issue_index_fetch(self.idx_port)
+            if self.port.idle and self._data_request_ready(ser):
+                self._issue_data_access(ser)
+            return
+
+        if not self.port.idle:
+            return
+        want_data = self._data_request_ready(ser)
+        if want_idx and (not want_data or not self._last_pick_idx):
+            self._issue_index_fetch(self.port)
+            self._last_pick_idx = True
+        elif want_data:
+            self._issue_data_access(ser)
+            self._last_pick_idx = False
+
+    def _data_request_ready(self, ser):
+        job = self._job
+        have_addr = self._rep_left > 0 or ser.can_emit
+        if not have_addr:
+            return False
+        if job.mode == INDIRECT_WRITE:
+            return bool(self.wfifo)
+        return len(self.fifo) + self.inflight < self.fifo.depth
+
+    def _issue_index_fetch(self, port):
+        port.request(self._idx_addr, 8, False, sink=self._on_idx_word)
+        self._idx_addr += 8
+        self._idx_words_requested += 1
+        self.idx_inflight += 1
+        self.idx_reads += 1
+        self.active_cycles += 1
+        self.engine.note_progress()
+
+    def _issue_data_access(self, ser):
+        if self._rep_left > 0:
+            addr = self._rep_addr
+            self._rep_left -= 1
+        else:
+            addr = ser.next_address()
+            if self._job.repeat > 1:
+                self._rep_addr = addr
+                self._rep_left = self._job.repeat - 1
+        if self._job.mode == INDIRECT_WRITE:
+            value = self.wfifo.pop()
+            self.port.request(addr, 8, True, value=value)
+            self.mem_writes += 1
+        else:
+            self.inflight += 1
+            self.port.request(addr, 8, False, sink=self._on_data)
+            self.mem_reads += 1
+        self.active_cycles += 1
+        self.engine.note_progress()
+
+    def _on_idx_word(self, tag, word):
+        self.idx_inflight -= 1
+        if self.idx_inflight < 0:
+            raise SimulationError(f"{self.name}: negative index inflight count")
+        self.idx_fifo.push(word)
+
+    def reset_stats(self):
+        super().reset_stats()
+        self.idx_reads = 0

@@ -1,0 +1,85 @@
+"""The ISSR index serializer.
+
+"Our hardware can read arrays of either 32-bit or 16-bit indices. To
+this end, an index serializer, backed by a two-bit short offset counter,
+extracts 16- or 32-bit indices from the buffered 64-bit index words. To
+simplify the programming model, arbitrary index array alignment is
+supported." (§II-A, labels 5-6 in Fig. 1.)
+
+The serializer consumes 64-bit index words (as fetched by the affine
+iterator walking the index array) and emits data addresses:
+``data_base + (index << (3 + extra_shift))`` — indices are "statically
+shifted to 64-bit word offsets to serve the double-precision FPU" with
+an optional programmable extra shift for power-of-two-strided tensors
+(label 7).
+"""
+
+from repro.errors import ConfigError
+from repro.utils.bits import field_mask
+
+WORD_BYTES = 8
+
+
+class IndexSerializer:
+    """Extracts indices from 64-bit words and forms data addresses."""
+
+    __slots__ = ("index_bits", "data_base", "shift", "count", "_per_word",
+                 "_mask", "_slot", "_word", "_have_word", "emitted",
+                 "first_word_addr", "words_needed")
+
+    def __init__(self, idx_base, count, index_bits, data_base, extra_shift=0):
+        if index_bits not in (16, 32):
+            raise ConfigError(f"unsupported index width {index_bits}")
+        idx_bytes = index_bits // 8
+        if idx_base % idx_bytes:
+            raise ConfigError(
+                f"index array base 0x{idx_base:x} not aligned to {idx_bytes}-byte elements"
+            )
+        self.index_bits = index_bits
+        self.data_base = data_base
+        self.shift = 3 + extra_shift
+        self.count = count
+        self._per_word = WORD_BYTES * 8 // index_bits
+        self._mask = field_mask(index_bits)
+        # Arbitrary alignment: the first index may start mid-word; the
+        # short offset counter starts at the sub-word slot of idx_base.
+        self._slot = (idx_base % WORD_BYTES) // idx_bytes
+        self._word = 0
+        self._have_word = False
+        self.emitted = 0
+        self.first_word_addr = idx_base - (idx_base % WORD_BYTES)
+        # Number of 64-bit words overlapping [idx_base, idx_base+count*sz)
+        end = idx_base + count * idx_bytes
+        self.words_needed = (end - self.first_word_addr + WORD_BYTES - 1) // WORD_BYTES
+
+    @property
+    def needs_word(self):
+        """True if a new index word must be loaded before the next emit."""
+        return not self._have_word and self.emitted < self.count
+
+    @property
+    def done(self):
+        return self.emitted >= self.count
+
+    def feed(self, word):
+        """Supply the next fetched 64-bit index word."""
+        if self._have_word:
+            raise ConfigError("serializer fed a word while one is buffered")
+        if not isinstance(word, int):
+            raise ConfigError(f"index word must be an integer, got {word!r}")
+        self._word = word
+        self._have_word = True
+
+    def next_address(self):
+        """Emit the next data address; requires a buffered word."""
+        index = (self._word >> (self._slot * self.index_bits)) & self._mask
+        self.emitted += 1
+        self._slot += 1
+        if self._slot == self._per_word:
+            self._slot = 0
+            self._have_word = False
+        return self.data_base + (index << self.shift)
+
+    @property
+    def can_emit(self):
+        return self._have_word and self.emitted < self.count

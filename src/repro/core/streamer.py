@@ -1,0 +1,132 @@
+"""The ISSR streamer: lanes, register switch, and config interface.
+
+Fig. 2 of the paper: the streamer exposes a shared configuration
+interface to the core (A), a register-file interface to the FPU (B),
+and one memory port per lane (C). The switch (D) maps each lane to a
+specific architectural register while enabled: lane 0 (SSR) <-> ft0,
+lane 1 (ISSR) <-> ft1 in the default two-lane configuration.
+
+"The presented streamer provides one ISSR and one SSR, but it could
+combine any number of either given sufficient memory ports" — the
+constructor takes an arbitrary lane list.
+"""
+
+from repro.core.config import (
+    AFFINE_READ,
+    AFFINE_WRITE,
+    INDIRECT_READ,
+    INDIRECT_WRITE,
+    LANE_WINDOW,
+    REG_BOUND_0,
+    REG_DATA_BASE,
+    REG_IDX_CFG,
+    REG_IRPTR,
+    REG_IWPTR,
+    REG_REPEAT,
+    REG_RPTR_0,
+    REG_RPTR_3,
+    REG_STATUS,
+    REG_STRIDE_0,
+    REG_WPTR_0,
+    REG_WPTR_3,
+    ShadowConfig,
+)
+from repro.errors import ConfigError
+
+
+class Streamer:
+    """A set of stream lanes multiplexed onto the FP register file."""
+
+    def __init__(self, engine, lanes, name="streamer"):
+        if not lanes:
+            raise ConfigError("streamer needs at least one lane")
+        self.engine = engine
+        self.lanes = list(lanes)
+        self.name = name
+        self.enabled = False
+        self._shadow = [ShadowConfig() for _ in lanes]
+        # The switch: architectural FP register index -> lane index.
+        self.reg_map = {lane_idx: lane_idx for lane_idx in range(len(lanes))}
+
+    # -- register switch (FPU side) ---------------------------------------
+
+    def lane_for_reg(self, fp_reg_index):
+        """The lane bound to an FP register, or None if not mapped."""
+        if not self.enabled:
+            return None
+        lane_idx = self.reg_map.get(fp_reg_index)
+        return None if lane_idx is None else self.lanes[lane_idx]
+
+    # -- configuration interface (core side) -------------------------------
+
+    def cfg_write(self, addr, value):
+        """Write a config register; returns False if the core must retry.
+
+        Launch-register writes enqueue a job; a full job queue back-
+        pressures the core (modelling the blocked config handshake).
+        """
+        lane_idx, reg = divmod(addr, LANE_WINDOW)
+        lane, shadow = self._lane_cfg(lane_idx)
+        if reg == REG_REPEAT:
+            if value < 1:
+                raise ConfigError(f"repeat must be >= 1, got {value}")
+            shadow.repeat = value
+        elif REG_BOUND_0 <= reg < REG_BOUND_0 + 4:
+            shadow.bounds[reg - REG_BOUND_0] = value
+        elif REG_STRIDE_0 <= reg < REG_STRIDE_0 + 4:
+            shadow.strides[reg - REG_STRIDE_0] = value
+        elif reg == REG_IDX_CFG:
+            shadow.idx_cfg = value
+        elif reg == REG_DATA_BASE:
+            shadow.data_base = value
+        elif REG_RPTR_0 <= reg <= REG_RPTR_3:
+            return lane.enqueue(shadow.snapshot(AFFINE_READ, reg - REG_RPTR_0 + 1, value))
+        elif REG_WPTR_0 <= reg <= REG_WPTR_3:
+            return lane.enqueue(shadow.snapshot(AFFINE_WRITE, reg - REG_WPTR_0 + 1, value))
+        elif reg == REG_IRPTR:
+            return lane.enqueue(shadow.snapshot(INDIRECT_READ, 1, value))
+        elif reg == REG_IWPTR:
+            return lane.enqueue(shadow.snapshot(INDIRECT_WRITE, 1, value))
+        else:
+            raise ConfigError(f"write to unknown/read-only config register {reg}")
+        return True
+
+    def cfg_read(self, addr):
+        lane_idx, reg = divmod(addr, LANE_WINDOW)
+        lane, shadow = self._lane_cfg(lane_idx)
+        if reg == REG_STATUS:
+            return 1 if lane.busy else 0
+        if reg == REG_REPEAT:
+            return shadow.repeat
+        if REG_BOUND_0 <= reg < REG_BOUND_0 + 4:
+            return shadow.bounds[reg - REG_BOUND_0]
+        if REG_STRIDE_0 <= reg < REG_STRIDE_0 + 4:
+            return shadow.strides[reg - REG_STRIDE_0]
+        if reg == REG_IDX_CFG:
+            return shadow.idx_cfg
+        if reg == REG_DATA_BASE:
+            return shadow.data_base
+        raise ConfigError(f"read of unknown config register {reg}")
+
+    def _lane_cfg(self, lane_idx):
+        if not 0 <= lane_idx < len(self.lanes):
+            raise ConfigError(f"config access to nonexistent lane {lane_idx}")
+        return self.lanes[lane_idx], self._shadow[lane_idx]
+
+    # -- simulation --------------------------------------------------------
+
+    def tick(self):
+        for lane in self.lanes:
+            lane.tick()
+
+    @property
+    def busy(self):
+        return any(lane.busy for lane in self.lanes)
+
+    @property
+    def writes_drained(self):
+        return all(lane.writes_drained for lane in self.lanes)
+
+    def reset_stats(self):
+        for lane in self.lanes:
+            lane.reset_stats()

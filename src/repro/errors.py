@@ -1,0 +1,33 @@
+"""Exception hierarchy for the repro package.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything from this package with a single except clause.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class FormatError(ReproError):
+    """A sparse/dense data structure is malformed or inconsistent."""
+
+
+class AssemblerError(ReproError):
+    """A program could not be assembled (bad operand, unknown label...)."""
+
+
+class SimulationError(ReproError):
+    """The simulator reached an illegal state (bad address, deadlock...)."""
+
+
+class ConfigError(ReproError):
+    """A hardware component was configured with invalid parameters."""
+
+
+class MemoryAccessError(SimulationError):
+    """An access fell outside allocated memory or misused a word."""
+
+
+class DeadlockError(SimulationError):
+    """The simulation made no forward progress within the watchdog limit."""

@@ -1,0 +1,48 @@
+"""Command-line runner for the reproduction experiments.
+
+Usage::
+
+    python -m repro.eval            # run everything (quick mode)
+    python -m repro.eval E1 E5     # run selected experiments
+    python -m repro.eval --full    # full-fidelity workloads (slow)
+"""
+
+import argparse
+import sys
+import time
+
+from repro.eval.experiments import EXPERIMENTS, run_all, run_experiment
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.eval",
+        description="Regenerate the ISSR paper's figures and claims.",
+    )
+    parser.add_argument("experiments", nargs="*", metavar="EXP",
+                        help=f"experiment ids ({', '.join(EXPERIMENTS)}); "
+                             "default: all")
+    parser.add_argument("--full", action="store_true",
+                        help="full-fidelity workloads (slow; default quick)")
+    args = parser.parse_args(argv)
+
+    quick = not args.full
+    ids = args.experiments or list(EXPERIMENTS)
+    unknown = [e for e in ids if e not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiment ids: {unknown}")
+
+    t0 = time.time()
+    if set(ids) == set(EXPERIMENTS):
+        results = run_all(quick=quick)
+    else:
+        results = {eid: run_experiment(eid, quick=quick) for eid in ids}
+    for eid in ids:
+        print(results[eid].render())
+        print()
+    print(f"[{len(ids)} experiment(s) in {time.time() - t0:.1f}s]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,60 @@
+"""Experiment registry: every paper artifact mapped to a driver.
+
+``EXPERIMENTS`` maps experiment ids (see DESIGN.md §4) to callables
+returning :class:`~repro.eval.report.ExperimentResult`. ``run_all``
+executes the whole reproduction at a chosen fidelity.
+"""
+
+from repro.eval import claims, fig4a, fig4b, fig4c, fig4d, static_models
+
+#: Quick-mode knobs keep the full suite runnable in minutes.
+QUICK = {
+    "E1": dict(nnz_points=(2, 8, 32, 128, 512, 2048)),
+    "E2": dict(nnz_per_row=(1, 4, 16, 32, 64, 128), nrows=96),
+    "E3": dict(scale=0.02),
+    "E4": dict(scale=0.02),
+    "E8": dict(nnz=2048, npr=128),
+    "E10": dict(),
+}
+
+
+def _run_related_from_e3(e3_result=None, **kwargs):
+    """E9 needs the whole-run cluster utilization measured by E3."""
+    if e3_result is None:
+        kwargs = {**QUICK["E3"], **kwargs}
+        e3_result = fig4c.run(**kwargs)
+    return static_models.run_related(
+        e3_result.measured["whole-run utilization"]
+    )
+
+
+EXPERIMENTS = {
+    "E1": fig4a.run,
+    "E2": fig4b.run,
+    "E3": fig4c.run,
+    "E4": fig4d.run,
+    "E5": static_models.run_area,
+    "E6": static_models.run_timing,
+    "E8": claims.run_claims,
+    "E9": _run_related_from_e3,
+    "E10": claims.run_csrmm_claim,
+}
+
+
+def run_experiment(exp_id, quick=True, **overrides):
+    """Run one experiment by id; quick mode shrinks the workloads."""
+    fn = EXPERIMENTS[exp_id]
+    kwargs = dict(QUICK.get(exp_id, {})) if quick else {}
+    kwargs.update(overrides)
+    return fn(**kwargs)
+
+
+def run_all(quick=True):
+    """Run every experiment; returns {exp_id: ExperimentResult}."""
+    results = {}
+    for exp_id in EXPERIMENTS:
+        if exp_id == "E9":
+            results[exp_id] = _run_related_from_e3(results.get("E3"))
+        else:
+            results[exp_id] = run_experiment(exp_id, quick=quick)
+    return results

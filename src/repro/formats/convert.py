@@ -1,0 +1,72 @@
+"""Cross-format conversion helpers.
+
+Centralizes the conversions the kernels and experiments need so callers
+never hand-roll pointer arithmetic: dense <-> fiber/CSR/CSC/CSF, and the
+fiber-concatenation view of a CSR matrix that the ISSR streams (§III-B:
+"we stream the entire matrix fiber in single SSR and ISSR jobs").
+"""
+
+import numpy as np
+
+from repro.errors import FormatError
+from repro.formats.csc import CscMatrix
+from repro.formats.csf import CsfTensor
+from repro.formats.csr import CsrMatrix
+from repro.formats.fiber import SparseFiber
+
+
+def csr_to_csc(matrix):
+    """CSR -> CSC."""
+    return CscMatrix.from_csr(matrix)
+
+
+def csc_to_csr(matrix):
+    """CSC -> CSR."""
+    return matrix.to_csr()
+
+
+def csr_to_fibers(matrix):
+    """Split a CSR matrix into its per-row :class:`SparseFiber` list."""
+    return [matrix.row(r) for r in range(matrix.nrows)]
+
+
+def fibers_to_csr(fibers, ncols=None):
+    """Concatenate row fibers back into a CSR matrix."""
+    if ncols is None:
+        ncols = max((f.dim for f in fibers), default=0)
+    ptr = np.zeros(len(fibers) + 1, dtype=np.int64)
+    for r, fiber in enumerate(fibers):
+        if fiber.dim > ncols:
+            raise FormatError(f"fiber {r} dim {fiber.dim} exceeds ncols {ncols}")
+        ptr[r + 1] = ptr[r] + fiber.nnz
+    idcs = np.concatenate([f.indices for f in fibers]) if fibers else np.zeros(0, np.int64)
+    vals = np.concatenate([f.values for f in fibers]) if fibers else np.zeros(0)
+    return CsrMatrix(ptr, idcs, vals, (len(fibers), ncols))
+
+
+def csr_to_csf(matrix):
+    """View a CSR matrix as an order-2 CSF tensor."""
+    rows = np.repeat(np.arange(matrix.nrows, dtype=np.int64), matrix.row_lengths())
+    coords = np.stack([rows, matrix.idcs], axis=1) if matrix.nnz else np.zeros((0, 2), np.int64)
+    return CsfTensor.from_coo(coords, matrix.vals, matrix.shape)
+
+
+def csf_to_csr(tensor):
+    """Flatten an order-2 CSF tensor back to CSR."""
+    if tensor.order != 2:
+        raise FormatError(f"csf_to_csr needs an order-2 tensor, got order {tensor.order}")
+    coords = np.asarray(list(tensor.iter_coords()), dtype=np.int64)
+    if len(coords) == 0:
+        coords = np.zeros((0, 2), dtype=np.int64)
+    return CsrMatrix.from_coo(coords[:, 0], coords[:, 1], tensor.vals, tensor.shape)
+
+
+def matrix_fiber(matrix):
+    """The whole-matrix fiber (idcs, vals) the ISSR CsrMV streams.
+
+    Returns the concatenated column-index and value arrays — the exact
+    arrays the single SSR/ISSR jobs walk in the optimized CsrMV kernel.
+    """
+    if not isinstance(matrix, CsrMatrix):
+        raise FormatError("matrix_fiber expects a CsrMatrix")
+    return matrix.idcs, matrix.vals

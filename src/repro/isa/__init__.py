@@ -1,0 +1,25 @@
+"""RISC-V subset ISA with the Snitch SSR/FREP/ISSR extensions."""
+
+from repro.isa.isa import (
+    CSR_CYCLE,
+    CSR_SSR,
+    FPU_LATENCY,
+    FPU_QUEUE_DEPTH,
+    LOAD_LATENCY,
+    Instr,
+)
+from repro.isa.program import Program, ProgramBuilder
+from repro.isa.registers import fp_reg, int_reg
+
+__all__ = [
+    "Instr",
+    "Program",
+    "ProgramBuilder",
+    "int_reg",
+    "fp_reg",
+    "CSR_SSR",
+    "CSR_CYCLE",
+    "LOAD_LATENCY",
+    "FPU_LATENCY",
+    "FPU_QUEUE_DEPTH",
+]

@@ -1,0 +1,395 @@
+"""Program construction: an assembler-style builder with labels.
+
+Kernels are built programmatically (the Python equivalent of the paper's
+hand-optimized assembly). The builder records :class:`Instr` records and
+resolves labels to instruction indices at :meth:`ProgramBuilder.build`
+time; branch/jump targets become absolute PCs.
+"""
+
+from repro.errors import AssemblerError
+from repro.isa.isa import (
+    ALL_OPS,
+    BRANCH_OPS,
+    FREP_MAX_BODY,
+    Instr,
+)
+from repro.isa.registers import fp_reg, int_reg
+
+
+class _LabelRef:
+    """A forward reference to a label, patched during build()."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name):
+        self.name = name
+
+
+class Program:
+    """An assembled program: a flat list of instructions plus metadata."""
+
+    __slots__ = ("instrs", "labels", "name")
+
+    def __init__(self, instrs, labels, name="program"):
+        self.instrs = instrs
+        self.labels = labels
+        self.name = name
+
+    def __len__(self):
+        return len(self.instrs)
+
+    def disassemble(self):
+        """Human-readable listing with label annotations."""
+        by_pc = {}
+        for label, pc in self.labels.items():
+            by_pc.setdefault(pc, []).append(label)
+        lines = []
+        for pc, ins in enumerate(self.instrs):
+            for label in by_pc.get(pc, ()):
+                lines.append(f"{label}:")
+            lines.append(f"  {pc:4d}: {ins!r}")
+        return "\n".join(lines)
+
+
+class ProgramBuilder:
+    """Builds a :class:`Program` instruction by instruction.
+
+    Register operands accept ABI names (``"t0"``, ``"ft2"``) or raw
+    indices; branch targets accept label strings. Example::
+
+        b = ProgramBuilder()
+        b.label("loop")
+        b.lw("t0", "a0", 0)
+        b.addi("a0", "a0", 4)
+        b.bne("a0", "a1", "loop")
+        b.halt()
+        prog = b.build()
+    """
+
+    def __init__(self, name="program"):
+        self.name = name
+        self._instrs = []
+        self._labels = {}
+
+    # -- infrastructure ------------------------------------------------
+
+    def label(self, name):
+        """Define ``name`` at the current position."""
+        if name in self._labels:
+            raise AssemblerError(f"duplicate label {name!r}")
+        self._labels[name] = len(self._instrs)
+        return self
+
+    def emit(self, op, rd=0, rs1=0, rs2=0, rs3=0, imm=0, aux=None):
+        """Append a raw instruction (operands already resolved)."""
+        if op not in ALL_OPS:
+            raise AssemblerError(f"unknown op {op!r}")
+        self._instrs.append(Instr(op, rd, rs1, rs2, rs3, imm, aux))
+        return self
+
+    @property
+    def pc(self):
+        """Index of the next instruction to be emitted."""
+        return len(self._instrs)
+
+    def build(self):
+        """Resolve label references and return the :class:`Program`."""
+        for pos, ins in enumerate(self._instrs):
+            if isinstance(ins.imm, _LabelRef):
+                try:
+                    ins.imm = self._labels[ins.imm.name]
+                except KeyError:
+                    raise AssemblerError(
+                        f"undefined label {ins.imm.name!r} at instruction {pos}"
+                    ) from None
+        for ins in self._instrs:
+            if ins.op in BRANCH_OPS or ins.op == "jal":
+                if not isinstance(ins.imm, int) or not 0 <= ins.imm <= len(self._instrs):
+                    raise AssemblerError(f"branch target {ins.imm!r} out of range")
+        return Program(self._instrs, dict(self._labels), self.name)
+
+    def _target(self, label):
+        if isinstance(label, str):
+            return _LabelRef(label)
+        return int(label)
+
+    # -- integer ALU ---------------------------------------------------
+
+    def _alu(self, op, rd, rs1, rs2):
+        return self.emit(op, rd=int_reg(rd), rs1=int_reg(rs1), rs2=int_reg(rs2))
+
+    def _alui(self, op, rd, rs1, imm):
+        return self.emit(op, rd=int_reg(rd), rs1=int_reg(rs1), imm=int(imm))
+
+    def add(self, rd, rs1, rs2):
+        return self._alu("add", rd, rs1, rs2)
+
+    def sub(self, rd, rs1, rs2):
+        return self._alu("sub", rd, rs1, rs2)
+
+    def and_(self, rd, rs1, rs2):
+        return self._alu("and", rd, rs1, rs2)
+
+    def or_(self, rd, rs1, rs2):
+        return self._alu("or", rd, rs1, rs2)
+
+    def xor(self, rd, rs1, rs2):
+        return self._alu("xor", rd, rs1, rs2)
+
+    def sll(self, rd, rs1, rs2):
+        return self._alu("sll", rd, rs1, rs2)
+
+    def srl(self, rd, rs1, rs2):
+        return self._alu("srl", rd, rs1, rs2)
+
+    def sra(self, rd, rs1, rs2):
+        return self._alu("sra", rd, rs1, rs2)
+
+    def slt(self, rd, rs1, rs2):
+        return self._alu("slt", rd, rs1, rs2)
+
+    def sltu(self, rd, rs1, rs2):
+        return self._alu("sltu", rd, rs1, rs2)
+
+    def addi(self, rd, rs1, imm):
+        return self._alui("addi", rd, rs1, imm)
+
+    def andi(self, rd, rs1, imm):
+        return self._alui("andi", rd, rs1, imm)
+
+    def ori(self, rd, rs1, imm):
+        return self._alui("ori", rd, rs1, imm)
+
+    def xori(self, rd, rs1, imm):
+        return self._alui("xori", rd, rs1, imm)
+
+    def slli(self, rd, rs1, imm):
+        return self._alui("slli", rd, rs1, imm)
+
+    def srli(self, rd, rs1, imm):
+        return self._alui("srli", rd, rs1, imm)
+
+    def srai(self, rd, rs1, imm):
+        return self._alui("srai", rd, rs1, imm)
+
+    def slti(self, rd, rs1, imm):
+        return self._alui("slti", rd, rs1, imm)
+
+    def mul(self, rd, rs1, rs2):
+        return self._alu("mul", rd, rs1, rs2)
+
+    def div(self, rd, rs1, rs2):
+        return self._alu("div", rd, rs1, rs2)
+
+    def rem(self, rd, rs1, rs2):
+        return self._alu("rem", rd, rs1, rs2)
+
+    # -- pseudo-ops ----------------------------------------------------
+
+    def li(self, rd, value):
+        """Load immediate (modelled as a single cycle, like lui+addi)."""
+        return self.emit("li", rd=int_reg(rd), imm=int(value))
+
+    def mv(self, rd, rs1):
+        return self._alui("addi", rd, rs1, 0)
+
+    def nop(self):
+        return self.emit("nop")
+
+    def beqz(self, rs1, label):
+        return self.beq(rs1, "zero", label)
+
+    def bnez(self, rs1, label):
+        return self.bne(rs1, "zero", label)
+
+    def j(self, label):
+        return self.emit("jal", rd=0, imm=self._target(label))
+
+    # -- memory --------------------------------------------------------
+
+    def _load(self, op, rd, base, offset):
+        return self.emit(op, rd=int_reg(rd), rs1=int_reg(base), imm=int(offset))
+
+    def _store(self, op, rs2, base, offset):
+        return self.emit(op, rs1=int_reg(base), rs2=int_reg(rs2), imm=int(offset))
+
+    def lb(self, rd, base, offset=0):
+        return self._load("lb", rd, base, offset)
+
+    def lbu(self, rd, base, offset=0):
+        return self._load("lbu", rd, base, offset)
+
+    def lh(self, rd, base, offset=0):
+        return self._load("lh", rd, base, offset)
+
+    def lhu(self, rd, base, offset=0):
+        return self._load("lhu", rd, base, offset)
+
+    def lw(self, rd, base, offset=0):
+        return self._load("lw", rd, base, offset)
+
+    def lwu(self, rd, base, offset=0):
+        return self._load("lwu", rd, base, offset)
+
+    def ld(self, rd, base, offset=0):
+        return self._load("ld", rd, base, offset)
+
+    def sb(self, rs2, base, offset=0):
+        return self._store("sb", rs2, base, offset)
+
+    def sh(self, rs2, base, offset=0):
+        return self._store("sh", rs2, base, offset)
+
+    def sw(self, rs2, base, offset=0):
+        return self._store("sw", rs2, base, offset)
+
+    def sd(self, rs2, base, offset=0):
+        return self._store("sd", rs2, base, offset)
+
+    # -- control flow --------------------------------------------------
+
+    def _branch(self, op, rs1, rs2, label):
+        return self.emit(op, rs1=int_reg(rs1), rs2=int_reg(rs2),
+                         imm=self._target(label))
+
+    def beq(self, rs1, rs2, label):
+        return self._branch("beq", rs1, rs2, label)
+
+    def bne(self, rs1, rs2, label):
+        return self._branch("bne", rs1, rs2, label)
+
+    def blt(self, rs1, rs2, label):
+        return self._branch("blt", rs1, rs2, label)
+
+    def bge(self, rs1, rs2, label):
+        return self._branch("bge", rs1, rs2, label)
+
+    def bltu(self, rs1, rs2, label):
+        return self._branch("bltu", rs1, rs2, label)
+
+    def bgeu(self, rs1, rs2, label):
+        return self._branch("bgeu", rs1, rs2, label)
+
+    def jal(self, rd, label):
+        return self.emit("jal", rd=int_reg(rd), imm=self._target(label))
+
+    def jalr(self, rd, rs1, offset=0):
+        return self.emit("jalr", rd=int_reg(rd), rs1=int_reg(rs1), imm=int(offset))
+
+    # -- CSR -----------------------------------------------------------
+
+    def csrr(self, rd, csr):
+        return self.emit("csrr", rd=int_reg(rd), imm=int(csr))
+
+    def csrrw(self, rd, csr, rs1):
+        return self.emit("csrrw", rd=int_reg(rd), rs1=int_reg(rs1), imm=int(csr))
+
+    def csrsi(self, csr, uimm):
+        return self.emit("csrsi", rs1=int(uimm), imm=int(csr))
+
+    def csrci(self, csr, uimm):
+        return self.emit("csrci", rs1=int(uimm), imm=int(csr))
+
+    # -- floating point ------------------------------------------------
+
+    def _fp3(self, op, rd, rs1, rs2):
+        return self.emit(op, rd=fp_reg(rd), rs1=fp_reg(rs1), rs2=fp_reg(rs2))
+
+    def _fp4(self, op, rd, rs1, rs2, rs3):
+        return self.emit(op, rd=fp_reg(rd), rs1=fp_reg(rs1),
+                         rs2=fp_reg(rs2), rs3=fp_reg(rs3))
+
+    def fmadd_d(self, rd, rs1, rs2, rs3):
+        return self._fp4("fmadd.d", rd, rs1, rs2, rs3)
+
+    def fmsub_d(self, rd, rs1, rs2, rs3):
+        return self._fp4("fmsub.d", rd, rs1, rs2, rs3)
+
+    def fnmadd_d(self, rd, rs1, rs2, rs3):
+        return self._fp4("fnmadd.d", rd, rs1, rs2, rs3)
+
+    def fnmsub_d(self, rd, rs1, rs2, rs3):
+        return self._fp4("fnmsub.d", rd, rs1, rs2, rs3)
+
+    def fadd_d(self, rd, rs1, rs2):
+        return self._fp3("fadd.d", rd, rs1, rs2)
+
+    def fsub_d(self, rd, rs1, rs2):
+        return self._fp3("fsub.d", rd, rs1, rs2)
+
+    def fmul_d(self, rd, rs1, rs2):
+        return self._fp3("fmul.d", rd, rs1, rs2)
+
+    def fdiv_d(self, rd, rs1, rs2):
+        return self._fp3("fdiv.d", rd, rs1, rs2)
+
+    def fmin_d(self, rd, rs1, rs2):
+        return self._fp3("fmin.d", rd, rs1, rs2)
+
+    def fmax_d(self, rd, rs1, rs2):
+        return self._fp3("fmax.d", rd, rs1, rs2)
+
+    def fsgnj_d(self, rd, rs1, rs2):
+        return self._fp3("fsgnj.d", rd, rs1, rs2)
+
+    def fmv_d(self, rd, rs1):
+        """Register move (fsgnj.d rd, rs1, rs1)."""
+        return self.emit("fmv.d", rd=fp_reg(rd), rs1=fp_reg(rs1))
+
+    def fcvt_d_w(self, rd, rs1):
+        """Convert integer register to double (used to zero accumulators)."""
+        return self.emit("fcvt.d.w", rd=fp_reg(rd), rs1=int_reg(rs1))
+
+    def fcvt_w_d(self, rd, rs1):
+        return self.emit("fcvt.w.d", rd=int_reg(rd), rs1=fp_reg(rs1))
+
+    def fmv_d_x(self, rd, rs1):
+        return self.emit("fmv.d.x", rd=fp_reg(rd), rs1=int_reg(rs1))
+
+    def fmv_x_d(self, rd, rs1):
+        return self.emit("fmv.x.d", rd=int_reg(rd), rs1=fp_reg(rs1))
+
+    def feq_d(self, rd, rs1, rs2):
+        return self.emit("feq.d", rd=int_reg(rd), rs1=fp_reg(rs1), rs2=fp_reg(rs2))
+
+    def flt_d(self, rd, rs1, rs2):
+        return self.emit("flt.d", rd=int_reg(rd), rs1=fp_reg(rs1), rs2=fp_reg(rs2))
+
+    def fld(self, rd, base, offset=0):
+        return self.emit("fld", rd=fp_reg(rd), rs1=int_reg(base), imm=int(offset))
+
+    def fsd(self, rs2, base, offset=0):
+        return self.emit("fsd", rs1=int_reg(base), rs2=fp_reg(rs2), imm=int(offset))
+
+    # -- Snitch extensions ----------------------------------------------
+
+    def frep(self, rep_reg, n_insn, stagger_count=0, stagger_mask=0):
+        """FREP hardware loop: repeat the next ``n_insn`` FP instructions.
+
+        ``rep_reg`` holds the total iteration count (0 skips the body);
+        ``stagger_mask`` selects operand fields to stagger (bit 0 = rd,
+        1 = rs1, 2 = rs2, 3 = rs3); staggered fields advance by
+        ``iteration % stagger_count`` as in [6].
+        """
+        if not 1 <= n_insn <= FREP_MAX_BODY:
+            raise AssemblerError(f"frep body must have 1..{FREP_MAX_BODY} instructions")
+        if stagger_mask and stagger_count < 1:
+            raise AssemblerError("staggering requires stagger_count >= 1")
+        return self.emit("frep", rs1=int_reg(rep_reg), imm=int(n_insn),
+                         aux=(int(stagger_count), int(stagger_mask)))
+
+    def scfgw(self, rs1, cfg_addr):
+        """Write streamer config register ``cfg_addr`` from ``rs1``."""
+        return self.emit("scfgw", rs1=int_reg(rs1), imm=int(cfg_addr))
+
+    def scfgr(self, rd, cfg_addr):
+        """Read streamer config register ``cfg_addr`` into ``rd``."""
+        return self.emit("scfgr", rd=int_reg(rd), imm=int(cfg_addr))
+
+    def fence_fpu(self):
+        """Stall until the FPU subsystem has drained (sync idiom)."""
+        return self.emit("fence_fpu")
+
+    def halt(self):
+        """End of program; implicitly fences the FPU subsystem first."""
+        return self.emit("halt")

@@ -1,0 +1,61 @@
+"""Register-file naming for the RISC-V subset.
+
+Integer registers use the standard RV32 ABI mnemonics; floating-point
+registers use the D-extension mnemonics. The streamer remaps ft0/ft1
+(f0/f1) to stream semantics when SSR redirection is enabled, matching
+the paper's kernels.
+"""
+
+from repro.errors import AssemblerError
+
+#: Number of architectural registers per file.
+NUM_INT_REGS = 32
+NUM_FP_REGS = 32
+
+_INT_ABI = (
+    "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2",
+    "s0", "s1", "a0", "a1", "a2", "a3", "a4", "a5",
+    "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7",
+    "s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6",
+)
+
+_FP_ABI = (
+    "ft0", "ft1", "ft2", "ft3", "ft4", "ft5", "ft6", "ft7",
+    "fs0", "fs1", "fa0", "fa1", "fa2", "fa3", "fa4", "fa5",
+    "fa6", "fa7", "fs2", "fs3", "fs4", "fs5", "fs6", "fs7",
+    "fs8", "fs9", "fs10", "fs11", "ft8", "ft9", "ft10", "ft11",
+)
+
+INT_REGS = {name: i for i, name in enumerate(_INT_ABI)}
+INT_REGS.update({f"x{i}": i for i in range(NUM_INT_REGS)})
+INT_REGS["fp"] = INT_REGS["s0"]
+
+FP_REGS = {name: i for i, name in enumerate(_FP_ABI)}
+FP_REGS.update({f"f{i}": i for i in range(NUM_FP_REGS)})
+
+INT_REG_NAMES = _INT_ABI
+FP_REG_NAMES = _FP_ABI
+
+
+def int_reg(name):
+    """Resolve an integer register name or index to its index."""
+    if isinstance(name, int):
+        if 0 <= name < NUM_INT_REGS:
+            return name
+        raise AssemblerError(f"integer register index {name} out of range")
+    try:
+        return INT_REGS[name]
+    except KeyError:
+        raise AssemblerError(f"unknown integer register {name!r}") from None
+
+
+def fp_reg(name):
+    """Resolve a floating-point register name or index to its index."""
+    if isinstance(name, int):
+        if 0 <= name < NUM_FP_REGS:
+            return name
+        raise AssemblerError(f"FP register index {name} out of range")
+    try:
+        return FP_REGS[name]
+    except KeyError:
+        raise AssemblerError(f"unknown FP register {name!r}") from None

@@ -1,0 +1,36 @@
+"""Sparse-dense product kernels and further indirection applications."""
+
+from repro.kernels.codebook import compress, run_codebook_dot, run_decode
+from repro.kernels.common import BASE, ISSR, N_ACCUMULATORS, SSR, VARIANTS
+from repro.kernels.csrmm import build_csrmm, run_csrmm
+from repro.kernels.csrmv import build_csrmv, run_csrmv
+from repro.kernels.gather import (
+    run_densify,
+    run_gather,
+    run_scatter,
+    run_transpose_scatter,
+)
+from repro.kernels.spvv import build_spvv, run_spvv
+from repro.kernels.stencil import run_stencil
+
+__all__ = [
+    "BASE",
+    "SSR",
+    "ISSR",
+    "VARIANTS",
+    "N_ACCUMULATORS",
+    "build_spvv",
+    "run_spvv",
+    "build_csrmv",
+    "run_csrmv",
+    "build_csrmm",
+    "run_csrmm",
+    "run_gather",
+    "run_scatter",
+    "run_densify",
+    "run_transpose_scatter",
+    "compress",
+    "run_decode",
+    "run_codebook_dot",
+    "run_stencil",
+]

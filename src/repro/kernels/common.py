@@ -1,0 +1,86 @@
+"""Shared kernel infrastructure: variants, accumulators, reductions.
+
+Kernel register conventions (all kernels):
+
+========  =========================================================
+register  meaning
+========  =========================================================
+``a0``    sparse value array base (``A_vals``)
+``a1``    sparse index array base (``A_idcs``)
+``a2``    SpVV: nonzero count; CsrMV/MM: row pointer array base
+``a3``    dense operand base (``x`` / ``B``)
+``a4``    result base (``y`` / ``C``)
+``a5``    CsrMV/MM: number of rows
+``a6``    CsrMM: dense column count ``k`` (power of two)
+========  =========================================================
+
+Accumulator counts follow the paper's observation that the 16-bit
+kernel "needs more accumulators to sustain peak utilization" (§IV-A):
+at the 4/5 issue rate the FMA latency needs more in-flight partial
+sums than at 2/3.
+"""
+
+from repro.errors import ConfigError
+from repro.isa.isa import CSR_SSR  # re-exported for kernel modules
+
+#: Kernel variants evaluated in the paper (§III-B).
+BASE = "base"
+SSR = "ssr"
+ISSR = "issr"
+VARIANTS = (BASE, SSR, ISSR)
+
+#: Staggered accumulator count per index width (ISSR kernels).
+N_ACCUMULATORS = {16: 8, 32: 4}
+
+#: First accumulator register (ft2, as in Listing 1).
+ACC_BASE = 2
+
+#: FREP stagger mask for `fmadd.d acc, ft0, ft1, acc`: rd and rs3.
+STAGGER_RD_RS3 = 0b1001
+
+
+def check_variant(variant):
+    if variant not in VARIANTS:
+        raise ConfigError(f"unknown kernel variant {variant!r}; expected {VARIANTS}")
+
+
+def check_index_bits(index_bits):
+    if index_bits not in (16, 32):
+        raise ConfigError(f"unsupported index width {index_bits}")
+
+
+def emit_tree_reduction(builder, base, count):
+    """Reduce FP registers f[base..base+count) into f[base].
+
+    Emits a balanced fadd tree (log2(count) levels); independent adds
+    within a level pipeline through the FPU.
+    """
+    stride = 1
+    while stride < count:
+        for i in range(0, count, 2 * stride):
+            j = i + stride
+            if j < count:
+                builder.fadd_d(base + i, base + i, base + j)
+        stride *= 2
+
+
+def emit_zero_accumulators(builder, base, count):
+    """Zero-initialize f[base..base+count) (fcvt.d.w from x0)."""
+    for i in range(count):
+        builder.fcvt_d_w(base + i, "zero")
+
+
+class KernelMeta:
+    """Descriptive metadata attached to a built kernel program."""
+
+    __slots__ = ("name", "variant", "index_bits", "n_accumulators")
+
+    def __init__(self, name, variant, index_bits, n_accumulators=1):
+        self.name = name
+        self.variant = variant
+        self.index_bits = index_bits
+        self.n_accumulators = n_accumulators
+
+    def __repr__(self):
+        return (f"KernelMeta({self.name}, {self.variant}, idx{self.index_bits}, "
+                f"acc={self.n_accumulators})")

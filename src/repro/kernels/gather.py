@@ -1,0 +1,162 @@
+"""Scatter-gather streaming kernels (§III-C).
+
+"ISSRs are, in effect, streaming scatter-gather units as found in
+vector processors." These kernels use the ISSR in both directions:
+
+- :func:`run_gather` — ``y[j] = x[idx[j]]``: the ISSR gathers, the SSR
+  lane runs a *write* stream, and the FREP'd ``fmv.d`` moves one
+  element per issue.
+- :func:`run_scatter` — ``y[idx[j]] = x[j]``: the SSR streams x, the
+  ISSR runs an indirect *write* job.
+- :func:`run_densify` — expands a sparse fiber onto a dense vector by
+  scattering its values at its indices ("densification of sparse
+  tensors by nonzero scattering").
+- :func:`run_transpose_scatter` — permutes a CSR matrix's values into
+  its transpose's layout with one scatter pass (the core of a sparse
+  matrix transpose unit, ref [14]).
+"""
+
+import numpy as np
+
+from repro.core import config as cfg
+from repro.errors import FormatError
+from repro.isa.isa import CSR_SSR
+from repro.isa.program import ProgramBuilder
+from repro.kernels.common import check_index_bits
+from repro.sim.harness import SingleCC
+
+_CACHE = {}
+
+
+def _build_move_kernel(name, read_indirect, index_bits):
+    """One FREP'd fmv.d between a read stream and a write stream.
+
+    ``read_indirect`` selects gather (ISSR reads, SSR writes) versus
+    scatter (SSR reads, ISSR writes). Arguments: a0 = affine array
+    (destination for gather, source for scatter), a1 = index array,
+    a2 = element count, a3 = indirection data base.
+    """
+    b = ProgramBuilder(f"{name}_{index_bits}")
+    b.beqz("a2", "done")
+    # lane 0 (SSR): affine side, 1-D, stride 8
+    b.scfgw("a2", cfg.cfg_addr(0, cfg.REG_BOUND_0))
+    b.li("t1", 8)
+    b.scfgw("t1", cfg.cfg_addr(0, cfg.REG_STRIDE_0))
+    # lane 1 (ISSR): indirection side
+    b.scfgw("a2", cfg.cfg_addr(1, cfg.REG_BOUND_0))
+    b.li("t1", cfg.idx_cfg_value(index_bits))
+    b.scfgw("t1", cfg.cfg_addr(1, cfg.REG_IDX_CFG))
+    b.scfgw("a3", cfg.cfg_addr(1, cfg.REG_DATA_BASE))
+    b.csrsi(CSR_SSR, 1)
+    if read_indirect:   # gather: ISSR read -> SSR write
+        b.scfgw("a0", cfg.cfg_addr(0, cfg.REG_WPTR_0))
+        b.scfgw("a1", cfg.cfg_addr(1, cfg.REG_IRPTR))
+        b.frep("a2", 1)
+        b.fmv_d("ft0", "ft1")
+    else:               # scatter: SSR read -> ISSR write
+        b.scfgw("a0", cfg.cfg_addr(0, cfg.REG_RPTR_0))
+        b.scfgw("a1", cfg.cfg_addr(1, cfg.REG_IWPTR))
+        b.frep("a2", 1)
+        b.fmv_d("ft1", "ft0")
+    b.csrci(CSR_SSR, 1)
+    b.label("done")
+    b.halt()
+    return b.build()
+
+
+def _move_kernel(name, read_indirect, index_bits):
+    check_index_bits(index_bits)
+    key = (name, index_bits)
+    if key not in _CACHE:
+        _CACHE[key] = _build_move_kernel(name, read_indirect, index_bits)
+    return _CACHE[key]
+
+
+def run_gather(x, indices, index_bits=32, sim=None, check=True):
+    """Gather ``x[indices]`` through the ISSR; returns (stats, result)."""
+    program = _move_kernel("gather", True, index_bits)
+    if sim is None:
+        sim = SingleCC()
+    xbase = sim.alloc_floats(x, name="x")
+    ibase = sim.alloc_indices(indices, index_bits, name="idx")
+    ybase = sim.alloc_zeros(max(len(indices), 1), name="y")
+    stats, _ = sim.run(program, args={
+        "a0": ybase, "a1": ibase, "a2": len(indices), "a3": xbase,
+    })
+    y = np.array(sim.read_floats(ybase, len(indices))) if indices else np.zeros(0)
+    if check:
+        expect = np.asarray(x, dtype=np.float64)[np.asarray(indices, dtype=np.int64)]
+        if not np.array_equal(y, expect):
+            raise AssertionError("gather mismatch")
+    return stats, y
+
+
+def run_scatter(values, indices, out_size, index_bits=32, sim=None,
+                check=True, base=None):
+    """Scatter ``values`` to ``out[indices]``; returns (stats, out).
+
+    ``base`` optionally supplies initial contents for the output.
+    Duplicate indices resolve to the last write (stream order), as in
+    hardware.
+    """
+    if len(values) != len(indices):
+        raise FormatError("scatter values/indices length mismatch")
+    program = _move_kernel("scatter", False, index_bits)
+    if sim is None:
+        sim = SingleCC()
+    vbase = sim.alloc_floats(values, name="vals")
+    ibase = sim.alloc_indices(indices, index_bits, name="idx")
+    init = list(base) if base is not None else [0.0] * out_size
+    ybase = sim.alloc_floats(init, name="y")
+    stats, _ = sim.run(program, args={
+        "a0": vbase, "a1": ibase, "a2": len(values), "a3": ybase,
+    })
+    out = np.array(sim.read_floats(ybase, out_size))
+    if check:
+        expect = np.array(init)
+        for i, v in zip(indices, values):
+            expect[i] = v
+        if not np.array_equal(out, expect):
+            raise AssertionError("scatter mismatch")
+    return stats, out
+
+
+def run_densify(fiber, sim=None, check=True):
+    """Expand a sparse fiber to dense by nonzero scattering (§III-C)."""
+    index_bits = fiber.index_bits_required()
+    stats, out = run_scatter(list(fiber.values), list(fiber.indices),
+                             fiber.dim, index_bits=index_bits, sim=sim,
+                             check=False)
+    if check and not np.array_equal(out, fiber.to_dense()):
+        raise AssertionError("densify mismatch")
+    return stats, out
+
+
+def run_transpose_scatter(matrix, index_bits=32, sim=None, check=True):
+    """Permute CSR values into the transpose's (CSC) layout via scatter.
+
+    The destination positions are the standard counting-sort offsets;
+    computing them is cheap pointer arithmetic, while the value motion
+    — the memory-bound part — runs through the ISSR as one scatter
+    stream. Returns (stats, CSC-ordered values array).
+    """
+    m = matrix
+    counts = np.bincount(m.idcs, minlength=m.ncols) if m.nnz else \
+        np.zeros(m.ncols, dtype=np.int64)
+    col_start = np.zeros(m.ncols, dtype=np.int64)
+    np.cumsum(counts[:-1], out=col_start[1:])
+    next_free = col_start.copy()
+    dest = np.empty(m.nnz, dtype=np.int64)
+    for k in range(m.nnz):
+        c = m.idcs[k]
+        dest[k] = next_free[c]
+        next_free[c] += 1
+    stats, out = run_scatter(list(m.vals), list(dest), max(m.nnz, 1),
+                             index_bits=index_bits, sim=sim, check=False)
+    out = out[:m.nnz]
+    if check and m.nnz:
+        from repro.formats.csc import CscMatrix
+        expect = CscMatrix.from_csr(m).vals
+        if not np.array_equal(out, expect):
+            raise AssertionError("transpose scatter mismatch")
+    return stats, out

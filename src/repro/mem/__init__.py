@@ -1,0 +1,20 @@
+"""Memory subsystem: word storage, ideal memory, TCDM, main memory, DMA."""
+
+from repro.mem.dma import Dma, DmaTransfer
+from repro.mem.ideal import IdealMemory
+from repro.mem.mainmem import MainMemory
+from repro.mem.memory import WordMemory
+from repro.mem.ports import MemRequest, Port, SharedPort
+from repro.mem.tcdm import Tcdm
+
+__all__ = [
+    "WordMemory",
+    "IdealMemory",
+    "Tcdm",
+    "MainMemory",
+    "Dma",
+    "DmaTransfer",
+    "Port",
+    "SharedPort",
+    "MemRequest",
+]

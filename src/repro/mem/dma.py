@@ -1,0 +1,164 @@
+"""Cluster DMA engine: 512-bit transfers between TCDM and main memory.
+
+Models the Snitch cluster's DMA (§II-C, ref [7]): a wide engine moving
+8 words (64 bytes) per cycle per direction, programmable with 1D and 2D
+transfer descriptors. The data-mover core (DMCC) uses it to double-buffer
+matrix tiles during cluster CsrMV (§IV-B); 2D transfers support the
+tiling of dense matrices mentioned for CsrMM (§III-B).
+
+Two independent channels model the duplex link: ``IN`` (main -> TCDM)
+and ``OUT`` (TCDM -> main). TCDM-side beats claim banks, so worker-core
+accesses colliding with DMA traffic stall for a cycle — one ingredient
+of the paper's "initial vector transfer cannot be fully overlapped"
+observation.
+"""
+
+from collections import deque
+
+from repro.errors import ConfigError
+
+#: Words moved per cycle per direction (512 bits / 64-bit words).
+BEAT_WORDS = 8
+
+IN = "in"    # main memory -> TCDM
+OUT = "out"  # TCDM -> main memory
+
+
+class DmaTransfer:
+    """One programmed transfer (1D, or 2D as `rows` strided segments)."""
+
+    __slots__ = ("direction", "src", "dst", "row_words", "rows",
+                 "src_stride", "dst_stride", "on_done", "done",
+                 "_row", "_word")
+
+    def __init__(self, direction, src, dst, row_words, rows=1,
+                 src_stride=None, dst_stride=None, on_done=None):
+        if direction not in (IN, OUT):
+            raise ConfigError(f"bad DMA direction {direction!r}")
+        if row_words <= 0 or rows <= 0:
+            raise ConfigError("DMA transfer must move at least one word")
+        if src % 8 or dst % 8:
+            raise ConfigError("DMA addresses must be 8-byte aligned")
+        self.direction = direction
+        self.src = src
+        self.dst = dst
+        self.row_words = row_words
+        self.rows = rows
+        self.src_stride = row_words * 8 if src_stride is None else src_stride
+        self.dst_stride = row_words * 8 if dst_stride is None else dst_stride
+        self.on_done = on_done
+        self.done = False
+        self._row = 0
+        self._word = 0
+
+    @property
+    def total_words(self):
+        return self.row_words * self.rows
+
+
+class Dma:
+    """The DMA engine component (tick it alongside the requesters).
+
+    Beats are decomposed into word-level TCDM operations that compete
+    in per-bank arbitration with the core ports (see
+    :meth:`repro.mem.tcdm.Tcdm.dma_submit`); words that lose retry on
+    following cycles, so a congested beat completes partially.
+    """
+
+    def __init__(self, engine, tcdm, mainmem):
+        self.engine = engine
+        self.tcdm = tcdm
+        self.mainmem = mainmem
+        self._queues = {IN: deque(), OUT: deque()}
+        self._beat = {IN: None, OUT: None}
+        self.words_moved = 0
+        self.busy_cycles = 0
+
+    @property
+    def busy(self):
+        return bool(self._queues[IN] or self._queues[OUT])
+
+    def submit(self, transfer):
+        """Queue a :class:`DmaTransfer`; returns it for completion polling."""
+        self._queues[transfer.direction].append(transfer)
+        return transfer
+
+    def copy_in(self, main_addr, tcdm_addr, n_words, on_done=None):
+        """Convenience 1D main->TCDM transfer."""
+        return self.submit(DmaTransfer(IN, main_addr, tcdm_addr, n_words,
+                                       on_done=on_done))
+
+    def copy_out(self, tcdm_addr, main_addr, n_words, on_done=None):
+        """Convenience 1D TCDM->main transfer."""
+        return self.submit(DmaTransfer(OUT, tcdm_addr, main_addr, n_words,
+                                       on_done=on_done))
+
+    def copy_in_2d(self, main_addr, tcdm_addr, row_words, rows,
+                   src_stride, dst_stride, on_done=None):
+        """2D main->TCDM transfer (`rows` segments of `row_words`)."""
+        return self.submit(DmaTransfer(IN, main_addr, tcdm_addr, row_words,
+                                       rows, src_stride, dst_stride, on_done))
+
+    def tick(self):
+        all_ops = []
+        progressed = False
+        for direction in (IN, OUT):
+            queue = self._queues[direction]
+            beat = self._beat[direction]
+            # Harvest last cycle's beat; advance the transfer when done.
+            if beat is not None and all(op[2] for op in beat):
+                self._advance(direction)
+                beat = None
+            if beat is None and queue:
+                beat = self._build_beat(queue[0], direction)
+                self._beat[direction] = beat
+            if beat is not None:
+                all_ops.extend(op for op in beat if not op[2])
+                progressed = True
+        if all_ops:
+            self.tcdm.dma_submit(all_ops)
+        if progressed:
+            self.busy_cycles += 1
+            self.engine.note_progress()
+
+    def _build_beat(self, xfer, direction):
+        """Decompose one cycle's worth of ``xfer`` into word-level ops."""
+        count = min(BEAT_WORDS, xfer.row_words - xfer._word)
+        src_base = xfer.src + xfer._row * xfer.src_stride + xfer._word * 8
+        dst_base = xfer.dst + xfer._row * xfer.dst_stride + xfer._word * 8
+        ops = []
+        for k in range(count):
+            src = src_base + 8 * k
+            dst = dst_base + 8 * k
+            if direction == IN:
+                tcdm_addr = dst
+                mover = self._make_mover(self.mainmem.storage, src,
+                                         self.tcdm.storage, dst)
+            else:
+                tcdm_addr = src
+                mover = self._make_mover(self.tcdm.storage, src,
+                                         self.mainmem.storage, dst)
+            ops.append([tcdm_addr, mover, False])
+        return ops
+
+    def _make_mover(self, src_mem, src, dst_mem, dst):
+        def move():
+            dst_mem.store(dst, 8, src_mem.load(src, 8))
+            self.words_moved += 1
+        return move
+
+    def _advance(self, direction):
+        """The current beat completed: step the transfer descriptor."""
+        xfer = self._queues[direction][0]
+        count = min(BEAT_WORDS, xfer.row_words - xfer._word)
+        xfer._word += count
+        if xfer._word == xfer.row_words:
+            xfer._word = 0
+            xfer._row += 1
+            if xfer._row == xfer.rows:
+                xfer.done = True
+        self._beat[direction] = None
+        if xfer.done:
+            self._queues[direction].popleft()
+            if xfer.on_done is not None:
+                xfer.on_done(xfer)

@@ -1,0 +1,42 @@
+"""Ideal memory: every port granted every cycle, fixed latency.
+
+Models the paper's single-CC experimental setup (§IV-A): "coupling it to
+ideal single-cycle instruction and two-port data memories. The latter
+behave similarly to the [...] TCDM in a cluster, except for misses and
+bank conflicts."
+"""
+
+from repro.isa.isa import LOAD_LATENCY
+from repro.mem.memory import WordMemory
+from repro.mem.ports import Port
+
+
+class IdealMemory:
+    """A multi-port conflict-free memory front-end over a WordMemory."""
+
+    def __init__(self, engine, size_bytes, name="ideal", latency=LOAD_LATENCY):
+        self.engine = engine
+        self.storage = WordMemory(size_bytes, name=name)
+        self.latency = latency
+        self.ports = []
+        self.name = name
+
+    def new_port(self, name):
+        """Create and register a request port."""
+        port = Port(f"{self.name}.{name}")
+        self.ports.append(port)
+        return port
+
+    def tick(self):
+        grant = self.engine.cycle
+        for port in self.ports:
+            if port.req is None:
+                continue
+            req = port.take()
+            if req.is_write:
+                self.storage.store(req.addr, req.size, req.value)
+                if req.sink is not None:
+                    self.engine.at(grant + self.latency, req.sink, req.tag, None)
+            else:
+                value = self.storage.load(req.addr, req.size, req.signed)
+                self.engine.at(grant + self.latency, req.sink, req.tag, value)

@@ -1,0 +1,126 @@
+"""Word-granular memory storage with packed sub-word access.
+
+The simulated address space is byte-addressed but stores one Python
+value per aligned 64-bit word: a ``float`` for FP data or an ``int`` for
+(possibly packed) integer data. Sub-word integer accesses (the 16/32-bit
+index loads of the BASE kernels and the ISSR index serializer) unpack
+bit fields from the containing word — exactly the arithmetic the
+hardware performs on its 64-bit memory interface.
+
+Mixing types is detected: an integer operation on a float word (or vice
+versa) raises :class:`MemoryAccessError`, which catches kernel addressing
+bugs immediately instead of producing garbage numbers.
+"""
+
+from repro.errors import MemoryAccessError
+from repro.utils.bits import sign_extend
+
+WORD_BYTES = 8
+
+
+class WordMemory:
+    """Backing store for a memory region (TCDM, main memory, ideal)."""
+
+    __slots__ = ("size", "words", "name", "_alloc_ptr", "segments")
+
+    def __init__(self, size_bytes, name="mem"):
+        if size_bytes % WORD_BYTES:
+            raise MemoryAccessError(f"{name}: size must be a multiple of {WORD_BYTES}")
+        self.size = size_bytes
+        self.words = [0] * (size_bytes // WORD_BYTES)
+        self.name = name
+        self._alloc_ptr = 0
+        self.segments = {}
+
+    # -- access ---------------------------------------------------------
+
+    def _word_index(self, addr, size):
+        if addr < 0 or addr + size > self.size:
+            raise MemoryAccessError(
+                f"{self.name}: access at 0x{addr:x} size {size} out of range (size 0x{self.size:x})"
+            )
+        if addr % size:
+            raise MemoryAccessError(f"{self.name}: misaligned {size}-byte access at 0x{addr:x}")
+        return addr >> 3
+
+    def load(self, addr, size, signed=False):
+        """Read ``size`` bytes; 8-byte reads return the stored object."""
+        word = self.words[self._word_index(addr, size)]
+        if size == WORD_BYTES:
+            return word
+        if not isinstance(word, int):
+            raise MemoryAccessError(
+                f"{self.name}: sub-word load at 0x{addr:x} from non-integer word ({word!r})"
+            )
+        bits = size * 8
+        shift = (addr & (WORD_BYTES - 1)) * 8
+        value = (word >> shift) & ((1 << bits) - 1)
+        return sign_extend(value, bits) if signed else value
+
+    def store(self, addr, size, value):
+        """Write ``size`` bytes; 8-byte writes store the object directly."""
+        idx = self._word_index(addr, size)
+        if size == WORD_BYTES:
+            self.words[idx] = value
+            return
+        if not isinstance(value, int):
+            raise MemoryAccessError(f"{self.name}: sub-word store of non-integer {value!r}")
+        old = self.words[idx]
+        if not isinstance(old, int):
+            old = 0  # overwrite a float word's fields starting from zero
+        bits = size * 8
+        shift = (addr & (WORD_BYTES - 1)) * 8
+        mask = ((1 << bits) - 1) << shift
+        self.words[idx] = (old & ~mask) | ((value << (shift)) & mask)
+
+    # -- allocation (harness-side, not simulated) ------------------------
+
+    def alloc(self, n_bytes, name=None, align=WORD_BYTES):
+        """Reserve ``n_bytes`` (rounded up to words); returns base address."""
+        if align % WORD_BYTES:
+            raise MemoryAccessError(f"alignment {align} must be a multiple of {WORD_BYTES}")
+        base = (self._alloc_ptr + align - 1) // align * align
+        n_words = (n_bytes + WORD_BYTES - 1) // WORD_BYTES
+        end = base + n_words * WORD_BYTES
+        if end > self.size:
+            raise MemoryAccessError(
+                f"{self.name}: out of memory allocating {n_bytes} bytes "
+                f"(used 0x{self._alloc_ptr:x} of 0x{self.size:x})"
+            )
+        self._alloc_ptr = end
+        if name:
+            self.segments[name] = (base, n_bytes)
+        return base
+
+    def reset_allocator(self):
+        self._alloc_ptr = 0
+        self.segments.clear()
+
+    def write_floats(self, addr, values):
+        """Bulk-write a float sequence starting at ``addr``."""
+        base = self._word_index(addr, WORD_BYTES)
+        for i, v in enumerate(values):
+            self.words[base + i] = float(v)
+
+    def read_floats(self, addr, count):
+        """Bulk-read ``count`` float words starting at ``addr``."""
+        base = self._word_index(addr, WORD_BYTES)
+        out = []
+        for i in range(count):
+            word = self.words[base + i]
+            if not isinstance(word, float):
+                raise MemoryAccessError(
+                    f"{self.name}: read_floats hit non-float word at 0x{addr + i * 8:x}: {word!r}"
+                )
+            out.append(word)
+        return out
+
+    def write_words(self, addr, words):
+        """Bulk-write raw 64-bit words (ints or floats) starting at ``addr``."""
+        base = self._word_index(addr, WORD_BYTES)
+        for i, w in enumerate(words):
+            self.words[base + i] = w
+
+    def read_words(self, addr, count):
+        base = self._word_index(addr, WORD_BYTES)
+        return list(self.words[base:base + count])

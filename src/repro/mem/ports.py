@@ -1,0 +1,104 @@
+"""Memory ports and request arbitration.
+
+A :class:`Port` is a single request/response channel between a
+requester (core LSU, FPU LSU, SSR/ISSR data mover, DMA) and a memory
+endpoint. One request may be outstanding *at the port* per cycle; the
+memory decides when to grant it (the same cycle for an ideal memory, or
+after winning bank arbitration in the TCDM).
+
+:class:`SharedPort` models the paper's core-complex topology (§II-C):
+"providing an exclusive port to the ISSR while combining the core, FPU,
+and SSR requests into another" — several requesters round-robin onto one
+physical port.
+"""
+
+from repro.errors import SimulationError
+
+
+class MemRequest:
+    """A single in-flight memory request."""
+
+    __slots__ = ("addr", "size", "is_write", "value", "sink", "tag", "signed")
+
+    def __init__(self, addr, size, is_write, value, sink, tag, signed=False):
+        self.addr = addr
+        self.size = size
+        self.is_write = is_write
+        self.value = value
+        self.sink = sink
+        self.tag = tag
+        self.signed = signed
+
+
+class Port:
+    """One physical request channel into a memory."""
+
+    __slots__ = ("name", "req", "reads", "writes", "wait_cycles")
+
+    def __init__(self, name):
+        self.name = name
+        self.req = None
+        self.reads = 0
+        self.writes = 0
+        self.wait_cycles = 0
+
+    @property
+    def idle(self):
+        """True if the port can accept a new request this cycle."""
+        return self.req is None
+
+    def request(self, addr, size, is_write, value=None, sink=None, tag=None, signed=False):
+        """Place a request; the port must be idle."""
+        if self.req is not None:
+            raise SimulationError(f"port {self.name}: request while busy")
+        self.req = MemRequest(addr, size, is_write, value, sink, tag, signed)
+
+    def take(self):
+        """Memory side: consume the pending request (on grant)."""
+        req = self.req
+        self.req = None
+        if req.is_write:
+            self.writes += 1
+        else:
+            self.reads += 1
+        return req
+
+
+class SharedPort:
+    """Round-robin multiplexer of several requesters onto one port.
+
+    Each requester gets a :class:`Port`-compatible *slot*; every cycle
+    (:meth:`tick`, run after the requesters and before the memory) one
+    pending slot request is forwarded to the downstream physical port.
+    """
+
+    __slots__ = ("name", "port", "slots", "_rr")
+
+    def __init__(self, name, port, n_slots):
+        self.name = name
+        self.port = port
+        self.slots = [Port(f"{name}.slot{i}") for i in range(n_slots)]
+        self._rr = 0
+
+    def slot(self, index):
+        return self.slots[index]
+
+    def tick(self):
+        if not self.port.idle:
+            for slot in self.slots:
+                if slot.req is not None:
+                    slot.wait_cycles += 1
+            return
+        n = len(self.slots)
+        for k in range(n):
+            i = (self._rr + k) % n
+            slot = self.slots[i]
+            if slot.req is not None:
+                req = slot.take()
+                self.port.request(req.addr, req.size, req.is_write, req.value,
+                                  req.sink, req.tag, req.signed)
+                self._rr = (i + 1) % n
+                break
+        for slot in self.slots:
+            if slot.req is not None:
+                slot.wait_cycles += 1

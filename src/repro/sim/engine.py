@@ -1,0 +1,77 @@
+"""Cycle-stepped simulation engine.
+
+Components register in tick order; each simulated cycle the engine
+first delivers events scheduled for that cycle (memory responses,
+wakeups), then ticks every component once. Tick order encodes the
+intra-cycle dataflow:
+
+1. cores issue instructions and place LSU requests,
+2. FPU sequencers issue FP micro-ops and place FPU-LSU requests,
+3. stream lanes generate their memory requests,
+4. the DMA engine issues its beat,
+5. shared-port arbiters forward one winner each,
+6. memories grant requests and schedule responses.
+
+A watchdog raises :class:`DeadlockError` when no component reports
+progress for a configurable number of cycles — misconfigured streams
+fail loudly instead of spinning forever.
+"""
+
+from repro.errors import DeadlockError
+
+
+class Engine:
+    """The simulation clock, event wheel, and component list."""
+
+    def __init__(self, watchdog=10000):
+        self.cycle = 0
+        self.watchdog = watchdog
+        self._wheel = {}
+        self._components = []
+        self._progress_cycle = 0
+
+    def add(self, component):
+        """Register a component (ticked in registration order)."""
+        self._components.append(component)
+        return component
+
+    def at(self, cycle, fn, *args):
+        """Schedule ``fn(*args)`` to run at the start of ``cycle``."""
+        self._wheel.setdefault(cycle, []).append((fn, args))
+
+    def after(self, delay, fn, *args):
+        """Schedule ``fn(*args)`` ``delay`` cycles from now."""
+        self.at(self.cycle + delay, fn, *args)
+
+    def note_progress(self):
+        """Components call this when they do useful work (watchdog feed)."""
+        self._progress_cycle = self.cycle
+
+    def step(self):
+        """Advance the simulation by one cycle."""
+        events = self._wheel.pop(self.cycle, None)
+        if events:
+            self._progress_cycle = self.cycle
+            for fn, args in events:
+                fn(*args)
+        for comp in self._components:
+            comp.tick()
+        self.cycle += 1
+
+    def run(self, done, max_cycles=50_000_000):
+        """Step until ``done()`` returns True; returns elapsed cycles.
+
+        ``done`` is checked at cycle boundaries. Raises
+        :class:`DeadlockError` if the watchdog expires first.
+        """
+        start = self.cycle
+        while not done():
+            if self.cycle - start >= max_cycles:
+                raise DeadlockError(f"simulation exceeded max_cycles={max_cycles}")
+            if self.cycle - self._progress_cycle > self.watchdog:
+                raise DeadlockError(
+                    f"no progress for {self.watchdog} cycles (cycle {self.cycle}); "
+                    "likely a stalled stream or unsatisfiable dependency"
+                )
+            self.step()
+        return self.cycle - start

@@ -1,0 +1,93 @@
+"""Single-CC simulation harness.
+
+Reproduces the paper's §IV-A setup: one core complex "coupled to ideal
+single-cycle instruction and two-port data memories". The harness owns
+memory allocation, argument-register setup, program execution, and
+counter collection — everything a kernel run needs.
+"""
+
+from repro.errors import SimulationError
+from repro.isa.registers import fp_reg, int_reg
+from repro.mem.ideal import IdealMemory
+from repro.sim.counters import collect_cc_stats
+from repro.sim.engine import Engine
+from repro.snitch.cc import CoreComplex
+from repro.utils.bits import pack_indices
+
+#: Default data memory for single-CC runs; the paper assumes the TCDM
+#: is "large enough to store the full matrix", so we size generously.
+DEFAULT_MEM_BYTES = 32 * 1024 * 1024
+
+
+class SingleCC:
+    """One core complex on ideal two-port data memory."""
+
+    def __init__(self, mem_bytes=DEFAULT_MEM_BYTES, watchdog=100000,
+                 fifo_depth=None, branch_penalty=None, three_port=False):
+        self.engine = Engine(watchdog=watchdog)
+        self.memory = IdealMemory(self.engine, mem_bytes, name="dmem")
+        self.cc = CoreComplex(self.engine, self.memory, name="cc0",
+                              fifo_depth=fifo_depth,
+                              branch_penalty=branch_penalty,
+                              three_port=three_port)
+        self.cc.register()
+        self.engine.add(self.memory)
+
+    # -- memory setup ------------------------------------------------------
+
+    @property
+    def storage(self):
+        return self.memory.storage
+
+    def alloc_floats(self, values, name=None):
+        """Allocate and fill a float64 array; returns its base address."""
+        values = list(values)
+        base = self.storage.alloc(8 * max(len(values), 1), name=name)
+        self.storage.write_floats(base, values)
+        return base
+
+    def alloc_zeros(self, count, name=None):
+        base = self.storage.alloc(8 * max(count, 1), name=name)
+        self.storage.write_floats(base, [0.0] * count)
+        return base
+
+    def alloc_indices(self, indices, index_bits, name=None):
+        """Allocate a packed 16/32-bit index array."""
+        words = pack_indices(list(indices), index_bits)
+        base = self.storage.alloc(8 * max(len(words), 1), name=name)
+        self.storage.write_words(base, words)
+        return base
+
+    def alloc_words(self, words, name=None):
+        words = list(words)
+        base = self.storage.alloc(8 * max(len(words), 1), name=name)
+        self.storage.write_words(base, words)
+        return base
+
+    def read_floats(self, addr, count):
+        return self.storage.read_floats(addr, count)
+
+    # -- execution -----------------------------------------------------------
+
+    def run(self, program, args=None, fargs=None, max_cycles=50_000_000):
+        """Execute ``program`` to completion; returns :class:`RunStats`.
+
+        ``args`` maps integer register names to values (typically
+        pointers/sizes); ``fargs`` maps FP register names to floats.
+        """
+        core = self.cc.core
+        core.load_program(program)
+        for name, value in (args or {}).items():
+            core.set_reg(int_reg(name), value)
+        for name, value in (fargs or {}).items():
+            self.cc.fpu.write_reg(fp_reg(name), float(value))
+        self.cc.reset_stats()
+        start = self.engine.cycle
+
+        def done():
+            return self.cc.idle
+
+        cycles = self.engine.run(done, max_cycles=max_cycles)
+        if not core.halted:
+            raise SimulationError("program did not halt")
+        return collect_cc_stats(self.cc, cycles, start_cycle=start), start

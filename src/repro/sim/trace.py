@@ -1,0 +1,63 @@
+"""Instruction-level tracing for simulator debugging.
+
+Wraps a :class:`SnitchCore` (and optionally its FPU subsystem) with
+retire hooks that record ``(cycle, pc, op)`` tuples — the Python
+equivalent of an RTL waveform's commit log. Intended for debugging
+kernels and for teaching: `trace.format()` prints an annotated,
+cycle-stamped listing.
+"""
+
+from repro.isa.isa import FP_OPS
+
+
+class CoreTracer:
+    """Records every retired instruction of one core."""
+
+    def __init__(self, core, limit=100000):
+        self.core = core
+        self.limit = limit
+        self.entries = []
+        self._orig_retire = core._retire
+        core._retire = self._hooked_retire
+
+    def _hooked_retire(self, next_pc=None):
+        if len(self.entries) < self.limit:
+            pc = self.core.pc
+            ins = self.core.program.instrs[pc] if pc < len(self.core.program.instrs) else None
+            self.entries.append((self.core.engine.cycle, pc,
+                                 ins.op if ins else "?"))
+        self._orig_retire(next_pc)
+
+    def detach(self):
+        """Remove the hook, keeping the recorded entries."""
+        self.core._retire = self._orig_retire
+
+    def format(self, first=0, count=None):
+        """A cycle-stamped commit log with stall-gap annotations."""
+        entries = self.entries[first:first + count if count else None]
+        lines = []
+        prev_cycle = None
+        for cycle, pc, op in entries:
+            gap = ""
+            if prev_cycle is not None and cycle - prev_cycle > 1:
+                gap = f"   <- {cycle - prev_cycle - 1} stall cycle(s)"
+            kind = "fp " if op in FP_OPS else "int"
+            lines.append(f"{cycle:8d}  pc={pc:4d}  [{kind}] {op}{gap}")
+            prev_cycle = cycle
+        return "\n".join(lines)
+
+    def op_histogram(self):
+        """Retired-instruction counts per opcode."""
+        hist = {}
+        for _cycle, _pc, op in self.entries:
+            hist[op] = hist.get(op, 0) + 1
+        return hist
+
+    def cycles_per_iteration(self, loop_pc):
+        """Retire-to-retire cycle deltas of the instruction at loop_pc.
+
+        Handy for verifying steady-state loop timing (e.g. the BASE
+        SpVV loop's nine cycles per iteration).
+        """
+        visits = [cycle for cycle, pc, _op in self.entries if pc == loop_pc]
+        return [b - a for a, b in zip(visits, visits[1:])]

@@ -1,0 +1,15 @@
+"""The Snitch core complex: integer core, FPU subsystem, I-caches."""
+
+from repro.snitch.cc import CoreComplex
+from repro.snitch.core import SnitchCore
+from repro.snitch.fpu import FpuSubsystem
+from repro.snitch.icache import IdealICache, L0ICache, SharedL1
+
+__all__ = [
+    "CoreComplex",
+    "SnitchCore",
+    "FpuSubsystem",
+    "IdealICache",
+    "L0ICache",
+    "SharedL1",
+]

@@ -1,0 +1,71 @@
+"""The Snitch core complex (CC): core + FPU subsystem + ISSR streamer.
+
+Wires one integer core, its FPU subsystem, and the two-lane streamer
+(one SSR + one ISSR) to two memory ports with the paper's topology
+(§II-C): "providing an exclusive port to the ISSR while combining the
+core, FPU, and SSR requests into another".
+"""
+
+from repro.core.issr_lane import IssrLane
+from repro.core.lane import SsrLane
+from repro.core.streamer import Streamer
+from repro.mem.ports import SharedPort
+from repro.snitch.core import SnitchCore
+from repro.snitch.fpu import FpuSubsystem
+from repro.snitch.icache import IdealICache
+
+#: Slot indices on the shared port.
+SLOT_CORE = 0
+SLOT_FPU = 1
+SLOT_SSR = 2
+
+
+class CoreComplex:
+    """One worker CC with its streamer and memory ports."""
+
+    def __init__(self, engine, memory, icache=None, name="cc",
+                 fifo_depth=None, branch_penalty=None, three_port=False):
+        self.engine = engine
+        self.name = name
+
+        self.port_issr = memory.new_port(f"{name}.issr")
+        self.port_shared = memory.new_port(f"{name}.shared")
+        self.shared = SharedPort(f"{name}.mux", self.port_shared, 3)
+        # §II-B alternative: a third port dedicates a channel to index
+        # fetches, removing the RR mux and its 4/5 / 2/3 rate cap.
+        self.port_idx = memory.new_port(f"{name}.idx") if three_port else None
+
+        lane_kwargs = {} if fifo_depth is None else {"fifo_depth": fifo_depth}
+        self.ssr_lane = SsrLane(engine, self.shared.slot(SLOT_SSR),
+                                lane_id=0, name=f"{name}.ssr", **lane_kwargs)
+        self.issr_lane = IssrLane(engine, self.port_issr,
+                                  lane_id=1, name=f"{name}.issr",
+                                  idx_port=self.port_idx, **lane_kwargs)
+        self.streamer = Streamer(engine, [self.ssr_lane, self.issr_lane],
+                                 name=f"{name}.streamer")
+
+        self.fpu = FpuSubsystem(engine, self.shared.slot(SLOT_FPU),
+                                streamer=self.streamer, name=f"{name}.fpu")
+        core_kwargs = {} if branch_penalty is None else {"branch_penalty": branch_penalty}
+        self.icache = icache if icache is not None else IdealICache()
+        self.core = SnitchCore(engine, self.shared.slot(SLOT_CORE), self.fpu,
+                               streamer=self.streamer, icache=self.icache,
+                               name=f"{name}.core", **core_kwargs)
+
+    def register(self):
+        """Add sub-components to the engine in dataflow tick order."""
+        self.engine.add(self.core)
+        self.engine.add(self.fpu)
+        self.engine.add(self.streamer)
+        self.engine.add(self.shared)
+        return self
+
+    @property
+    def idle(self):
+        return (self.core.halted and self.fpu.drained
+                and not self.streamer.busy)
+
+    def reset_stats(self):
+        self.core.reset_stats()
+        self.fpu.reset_stats()
+        self.streamer.reset_stats()

@@ -1,0 +1,394 @@
+"""The Snitch integer core: tiny, single-issue, in-order.
+
+Executes at most one instruction per cycle. Loads are scoreboarded
+(the core only stalls when a consumer reads a pending register), FP
+instructions are offloaded to the FPU subsystem with pre-resolved
+memory addresses and integer operands (pseudo-dual issue), and the
+streamer is configured through ``scfgw``/``scfgr`` and enabled through
+the SSR CSR — matching the programming model of §III.
+
+Timing notes (DESIGN.md §3): single-cycle ALU; 2-cycle load-use
+latency; branches resolve in one cycle (the paper's §I cycle counting
+assumes no taken-branch bubble); ``mul``/``div`` write back after
+``MUL_LATENCY``/``DIV_LATENCY``.
+"""
+
+from repro.errors import SimulationError
+from repro.isa.isa import (
+    ALU_IMM_OPS,
+    ALU_OPS,
+    BRANCH_OPS,
+    CSR_CYCLE,
+    CSR_SSR,
+    DIV_LATENCY,
+    FP_FROM_INT_OPS,
+    FP_OPS,
+    FP_TO_INT_OPS,
+    LOAD_OPS,
+    LOAD_UNSIGNED,
+    MUL_LATENCY,
+    MULDIV_OPS,
+    STORE_OPS,
+)
+
+#: Extra cycles after a taken branch (0 reproduces the paper's §I count).
+BRANCH_TAKEN_PENALTY = 0
+
+_WAIT_MEM = -1
+
+
+class SnitchCore:
+    """One integer core executing an assembled :class:`Program`."""
+
+    def __init__(self, engine, lsu_slot, fpu, streamer=None, icache=None,
+                 name="core", branch_penalty=BRANCH_TAKEN_PENALTY):
+        self.engine = engine
+        self.lsu_slot = lsu_slot
+        self.fpu = fpu
+        self.streamer = streamer
+        self.icache = icache
+        self.name = name
+        self.branch_penalty = branch_penalty
+        self.regs = [0] * 32
+        self._ready = {}          # int reg -> ready cycle / _WAIT_MEM
+        self.pc = 0
+        self.program = None
+        self.halted = True
+        self._fetch_stall_until = 0
+        self._outstanding_loads = 0
+        # statistics
+        self.retired = 0
+        self.stall_cycles = 0
+        self.stall_raw = 0
+        self.stall_fpu_queue = 0
+        self.stall_lsu = 0
+        self.stall_fetch = 0
+        self.stall_cfg = 0
+        fpu.core = self
+
+    # -- harness interface -------------------------------------------------
+
+    def load_program(self, program, start_pc=0):
+        self.program = program
+        self.pc = start_pc
+        self.halted = False
+        self._ready.clear()
+        self._fetch_stall_until = 0
+
+    def set_reg(self, idx, value):
+        if idx:
+            self.regs[idx] = value
+
+    def get_reg(self, idx):
+        return self.regs[idx]
+
+    # -- FPU cross-domain interface -----------------------------------------
+
+    def int_result_pending(self, rd):
+        """FPU will deliver an integer result to ``rd`` later."""
+        if rd:
+            self._ready[rd] = _WAIT_MEM
+
+    def int_result_deliver(self, rd, value):
+        if rd:
+            self.regs[rd] = value
+            self._ready[rd] = self.engine.cycle
+
+    # -- helpers -------------------------------------------------------------
+
+    def _src_ready(self, reg):
+        ready = self._ready.get(reg, 0)
+        if ready == _WAIT_MEM or ready > self.engine.cycle:
+            self.stall_raw += 1
+            return False
+        return True
+
+    def _retire(self, next_pc=None):
+        self.retired += 1
+        self.pc = self.pc + 1 if next_pc is None else next_pc
+        self.engine.note_progress()
+
+    # -- main loop -------------------------------------------------------------
+
+    def tick(self):
+        if self.halted:
+            return
+        cycle = self.engine.cycle
+        if cycle < self._fetch_stall_until:
+            self.stall_fetch += 1
+            self.stall_cycles += 1
+            return
+        if self.pc >= len(self.program.instrs):
+            raise SimulationError(f"{self.name}: PC {self.pc} fell off the program")
+        if self.icache is not None and not self.icache.fetch(self.pc):
+            self.stall_fetch += 1
+            self.stall_cycles += 1
+            return
+        ins = self.program.instrs[self.pc]
+        if not self._execute(ins):
+            self.stall_cycles += 1
+
+    def _execute(self, ins):
+        op = ins.op
+        regs = self.regs
+
+        if op in ALU_IMM_OPS:
+            if not self._src_ready(ins.rs1):
+                return False
+            value = _alu(op[:-1] if op != "sltiu" else "sltu", regs[ins.rs1], ins.imm)
+            if ins.rd:
+                regs[ins.rd] = value
+            self._retire()
+            return True
+
+        if op in ALU_OPS:
+            if not self._src_ready(ins.rs1) or not self._src_ready(ins.rs2):
+                return False
+            value = _alu(op, regs[ins.rs1], regs[ins.rs2])
+            if ins.rd:
+                regs[ins.rd] = value
+            self._retire()
+            return True
+
+        if op in LOAD_OPS:
+            if not self._src_ready(ins.rs1):
+                return False
+            if not self.lsu_slot.idle:
+                self.stall_lsu += 1
+                return False
+            addr = regs[ins.rs1] + ins.imm
+            size = LOAD_OPS[op]
+            signed = size < 8 and op not in LOAD_UNSIGNED
+            if ins.rd:
+                self._ready[ins.rd] = _WAIT_MEM
+            self._outstanding_loads += 1
+            self.lsu_slot.request(addr, size, False, sink=self._on_load,
+                                  tag=ins.rd, signed=signed)
+            self._retire()
+            return True
+
+        if op in STORE_OPS:
+            if not self._src_ready(ins.rs1) or not self._src_ready(ins.rs2):
+                return False
+            if not self.lsu_slot.idle:
+                self.stall_lsu += 1
+                return False
+            addr = regs[ins.rs1] + ins.imm
+            self.lsu_slot.request(addr, STORE_OPS[op], True, value=regs[ins.rs2])
+            self._retire()
+            return True
+
+        if op in BRANCH_OPS:
+            if not self._src_ready(ins.rs1) or not self._src_ready(ins.rs2):
+                return False
+            taken = _branch(op, regs[ins.rs1], regs[ins.rs2])
+            if taken and self.branch_penalty:
+                self._fetch_stall_until = self.engine.cycle + 1 + self.branch_penalty
+            self._retire(ins.imm if taken else self.pc + 1)
+            return True
+
+        if op in FP_OPS:
+            return self._offload_fp(ins)
+
+        if op == "frep":
+            if not self._src_ready(ins.rs1):
+                return False
+            if not self.fpu.can_accept:
+                self.stall_fpu_queue += 1
+                return False
+            st_count, st_mask = ins.aux
+            self.fpu.offload_frep(regs[ins.rs1], ins.imm, st_count, st_mask)
+            self._retire()
+            return True
+
+        if op == "li":
+            if ins.rd:
+                regs[ins.rd] = ins.imm
+            self._retire()
+            return True
+
+        if op == "nop":
+            self._retire()
+            return True
+
+        if op in MULDIV_OPS:
+            if not self._src_ready(ins.rs1) or not self._src_ready(ins.rs2):
+                return False
+            value = _muldiv(op, regs[ins.rs1], regs[ins.rs2])
+            latency = MUL_LATENCY if op.startswith("mul") else DIV_LATENCY
+            if ins.rd:
+                regs[ins.rd] = value
+                self._ready[ins.rd] = self.engine.cycle + latency
+            self._retire()
+            return True
+
+        if op == "scfgw":
+            if not self._src_ready(ins.rs1):
+                return False
+            if not self.streamer.cfg_write(ins.imm, regs[ins.rs1]):
+                self.stall_cfg += 1
+                return False
+            self._retire()
+            return True
+
+        if op == "scfgr":
+            if ins.rd:
+                regs[ins.rd] = self.streamer.cfg_read(ins.imm)
+            self._retire()
+            return True
+
+        if op in ("csrsi", "csrci"):
+            if ins.imm == CSR_SSR and self.streamer is not None:
+                if ins.rs1 & 1:
+                    self.streamer.enabled = op == "csrsi"
+            self._retire()
+            return True
+
+        if op == "csrr":
+            if ins.imm == CSR_CYCLE:
+                value = self.engine.cycle
+            elif ins.imm == CSR_SSR:
+                value = 1 if (self.streamer and self.streamer.enabled) else 0
+            else:
+                raise SimulationError(f"{self.name}: read of unknown CSR 0x{ins.imm:x}")
+            if ins.rd:
+                regs[ins.rd] = value
+            self._retire()
+            return True
+
+        if op == "jal":
+            if ins.rd:
+                regs[ins.rd] = self.pc + 1
+            if self.branch_penalty:
+                self._fetch_stall_until = self.engine.cycle + 1 + self.branch_penalty
+            self._retire(ins.imm)
+            return True
+
+        if op == "jalr":
+            if not self._src_ready(ins.rs1):
+                return False
+            target = regs[ins.rs1] + ins.imm
+            if ins.rd:
+                regs[ins.rd] = self.pc + 1
+            if self.branch_penalty:
+                self._fetch_stall_until = self.engine.cycle + 1 + self.branch_penalty
+            self._retire(target)
+            return True
+
+        if op == "fence_fpu":
+            if not self._fpu_drained():
+                return False
+            self._retire()
+            return True
+
+        if op == "halt":
+            if not self._fpu_drained() or self._outstanding_loads:
+                return False
+            self.halted = True
+            self._retire(self.pc)
+            return True
+
+        raise SimulationError(f"{self.name}: cannot execute op {op!r}")
+
+    def _offload_fp(self, ins):
+        if not self.fpu.can_accept:
+            self.stall_fpu_queue += 1
+            return False
+        op = ins.op
+        addr = None
+        int_value = None
+        if op in ("fld", "fsd"):
+            if not self._src_ready(ins.rs1):
+                return False
+            addr = self.regs[ins.rs1] + ins.imm
+        elif op in FP_FROM_INT_OPS:
+            if not self._src_ready(ins.rs1):
+                return False
+            int_value = self.regs[ins.rs1]
+        elif op in FP_TO_INT_OPS and ins.rd:
+            # the FPU writes this integer register later; mark it busy
+            # now so younger core instructions cannot read a stale value
+            self._ready[ins.rd] = _WAIT_MEM
+        self.fpu.offload(ins, addr=addr, int_value=int_value)
+        self._retire()
+        return True
+
+    def _fpu_drained(self):
+        if not self.fpu.drained:
+            return False
+        return self.streamer is None or self.streamer.writes_drained
+
+    def _on_load(self, rd, value):
+        self._outstanding_loads -= 1
+        if self._outstanding_loads < 0:
+            raise SimulationError(f"{self.name}: negative outstanding load count")
+        if rd:
+            self.regs[rd] = value
+            self._ready[rd] = self.engine.cycle
+
+    def reset_stats(self):
+        self.retired = 0
+        self.stall_cycles = 0
+        self.stall_raw = 0
+        self.stall_fpu_queue = 0
+        self.stall_lsu = 0
+        self.stall_fetch = 0
+        self.stall_cfg = 0
+
+
+def _alu(op, a, b):
+    if op == "add" or op == "addi":
+        return a + b
+    if op == "sub":
+        return a - b
+    if op == "and" or op == "andi":
+        return a & b
+    if op == "or" or op == "ori":
+        return a | b
+    if op == "xor" or op == "xori":
+        return a ^ b
+    if op == "sll" or op == "slli":
+        return a << b
+    if op == "srl" or op == "srli":
+        return (a % (1 << 64)) >> b
+    if op == "sra" or op == "srai":
+        return a >> b
+    if op == "slt" or op == "slti":
+        return 1 if a < b else 0
+    if op == "sltu":
+        return 1 if (a % (1 << 64)) < (b % (1 << 64)) else 0
+    if op == "min":
+        return min(a, b)
+    if op == "max":
+        return max(a, b)
+    raise SimulationError(f"unknown ALU op {op!r}")
+
+
+def _branch(op, a, b):
+    if op == "beq":
+        return a == b
+    if op == "bne":
+        return a != b
+    if op == "blt":
+        return a < b
+    if op == "bge":
+        return a >= b
+    if op == "bltu":
+        return (a % (1 << 64)) < (b % (1 << 64))
+    return (a % (1 << 64)) >= (b % (1 << 64))  # bgeu
+
+
+def _muldiv(op, a, b):
+    if op == "mul":
+        return a * b
+    if op == "mulh":
+        return (a * b) >> 64
+    if op in ("div", "divu"):
+        if b == 0:
+            return -1
+        return int(a / b) if op == "div" else (a % (1 << 64)) // (b % (1 << 64))
+    if b == 0:
+        return a
+    if op == "rem":
+        return a - b * int(a / b)
+    return (a % (1 << 64)) % (b % (1 << 64))  # remu

@@ -1,0 +1,386 @@
+"""The Snitch FPU subsystem: offload queue, FREP sequencer, FPU, FP LSU.
+
+Snitch [6] achieves *pseudo-dual issue*: the integer core pushes FP
+instructions into an offload queue and keeps running; the FPU subsystem
+executes them in order at up to one per cycle. The FREP sequencer
+buffers a loop body and replays it from its ring buffer with *register
+staggering* — incrementing selected operand register fields each
+iteration so several partial sums hide the FMA latency (§III-B of the
+ISSR paper, Listing 1).
+
+Stream semantic registers plug in at operand read/write: when the
+streamer is enabled and an operand register is switch-mapped to a lane,
+reading it pops the lane's data FIFO and writing it pushes the lane's
+write FIFO; an empty/full FIFO stalls issue, which is how memory
+back-pressure reaches the FPU.
+"""
+
+import math
+
+from repro.errors import SimulationError
+from repro.isa.isa import (
+    FP_FMA_OPS,
+    FP_FROM_INT_OPS,
+    FP_LONG_OPS,
+    FP_MAC_OPS,
+    FP_MOVE_OPS,
+    FP_SHORT_OPS,
+    FP_TO_INT_OPS,
+    FPU_LATENCY,
+    FPU_LONG_LATENCY,
+    FPU_MOVE_LATENCY,
+    FPU_QUEUE_DEPTH,
+    FPU_SHORT_LATENCY,
+)
+from repro.utils.fifo import Fifo
+
+#: Sentinel for "register waiting on a memory response".
+_WAIT_MEM = -1
+
+
+
+class _Loop:
+    """FREP sequencer state: a captured body replayed with staggering."""
+
+    __slots__ = ("reps", "n_insn", "body", "pos", "iter", "st_count", "st_mask")
+
+    def __init__(self, reps, n_insn, st_count, st_mask):
+        self.reps = reps
+        self.n_insn = n_insn
+        self.body = []
+        self.pos = 0
+        self.iter = 0
+        self.st_count = st_count
+        self.st_mask = st_mask
+
+
+class FpuSubsystem:
+    """In-order FP execution engine attached to one Snitch core."""
+
+    def __init__(self, engine, lsu_slot, streamer=None, name="fpu",
+                 queue_depth=FPU_QUEUE_DEPTH):
+        self.engine = engine
+        self.lsu_slot = lsu_slot
+        self.streamer = streamer
+        self.name = name
+        self.queue = Fifo(queue_depth, name=f"{name}.queue")
+        self.fregs = [0.0] * 32
+        self._ready = {}          # fp reg -> ready cycle or _WAIT_MEM
+        self._loop = None
+        self._outstanding = 0     # issued but not completed (incl. loads)
+        self._busy_until = 0      # last arithmetic writeback cycle
+        self.core = None          # set by the CC for cross-domain writes
+        # statistics
+        self.compute_ops = 0
+        self.mac_ops = 0
+        self.issued_ops = 0
+        self.stall_stream = 0
+        self.stall_raw = 0
+        self.stall_lsu = 0
+        self.busy_cycles = 0
+        self.first_mac_cycle = None
+        self.last_mac_cycle = None
+
+    # -- core-side interface ---------------------------------------------
+
+    @property
+    def can_accept(self):
+        return self.queue.can_push()
+
+    def offload(self, instr, addr=None, int_value=None):
+        """Queue an FP instruction (address/int operand pre-resolved).
+
+        Stream-register redirection is sampled here, at decode/offload
+        time — toggling the SSR CSR affects only later instructions,
+        exactly as in the RTL where the switch sits in the decoder.
+        """
+        streamed = self.streamer is not None and self.streamer.enabled
+        self.queue.push(("op", instr, addr, int_value, streamed))
+
+    def offload_frep(self, reps, n_insn, st_count, st_mask):
+        self.queue.push(("frep", reps, n_insn, st_count, st_mask))
+
+    @property
+    def drained(self):
+        """No queued, looping, or in-flight work (fence condition)."""
+        return (not self.queue and self._loop is None
+                and self._outstanding == 0
+                and self.engine.cycle >= self._busy_until)
+
+    def read_reg(self, idx):
+        """Architectural read for the harness (not timing-accurate)."""
+        return self.fregs[idx]
+
+    def write_reg(self, idx, value):
+        self.fregs[idx] = float(value)
+
+    # -- execution ---------------------------------------------------------
+
+    def tick(self):
+        micro = self._select()
+        if micro is None:
+            return
+        instr, addr, int_value, streamed, stagger = micro
+        if self._issue(instr, addr, int_value, streamed, stagger):
+            self._advance()
+            self.engine.note_progress()
+
+    def _select(self):
+        """Pick this cycle's micro-op; manages FREP capture/replay."""
+        loop = self._loop
+        if loop is not None:
+            while len(loop.body) < loop.n_insn and self.queue:
+                kind = self.queue.peek()[0]
+                if kind != "op":
+                    raise SimulationError(f"{self.name}: nested frep is unsupported")
+                loop.body.append(self.queue.pop())
+            if loop.reps == 0:
+                # zero-trip loop: swallow the body, execute nothing
+                if len(loop.body) == loop.n_insn:
+                    self._loop = None
+                return self._select() if self._loop is None else None
+            if loop.pos >= len(loop.body):
+                return None  # body instruction not yet offloaded
+            _, instr, addr, int_value, streamed = loop.body[loop.pos]
+            stagger = (loop.iter % loop.st_count) if loop.st_mask else 0
+            return instr, addr, int_value, streamed, stagger
+        if not self.queue:
+            return None
+        entry = self.queue.peek()
+        if entry[0] == "frep":
+            self.queue.pop()
+            self._loop = _Loop(entry[1], entry[2], entry[3], entry[4])
+            return self._select()
+        return entry[1], entry[2], entry[3], entry[4], 0
+
+    def _advance(self):
+        """Consume the micro-op slot after a successful issue."""
+        loop = self._loop
+        if loop is not None:
+            loop.pos += 1
+            if loop.pos == loop.n_insn:
+                loop.pos = 0
+                loop.iter += 1
+                if loop.iter >= loop.reps:
+                    self._loop = None
+        else:
+            self.queue.pop()
+
+    # -- issue logic ---------------------------------------------------------
+
+    def _stagger(self, reg, bit, mask, offset):
+        return reg + offset if (mask >> bit) & 1 else reg
+
+    def _lane(self, reg, streamed):
+        if not streamed or self.streamer is None:
+            return None
+        lane_idx = self.streamer.reg_map.get(reg)
+        return None if lane_idx is None else self.streamer.lanes[lane_idx]
+
+    def _src_ready(self, reg, streamed):
+        lane = self._lane(reg, streamed)
+        if lane is not None:
+            if not lane.can_pop:
+                self.stall_stream += 1
+                return False
+            return True
+        ready = self._ready.get(reg, 0)
+        if ready == _WAIT_MEM or ready > self.engine.cycle:
+            self.stall_raw += 1
+            return False
+        return True
+
+    def _read_src(self, reg, streamed):
+        lane = self._lane(reg, streamed)
+        if lane is not None:
+            return lane.pop()
+        return self.fregs[reg]
+
+    def _dst_ready(self, reg, streamed):
+        lane = self._lane(reg, streamed)
+        if lane is not None:
+            if not lane.can_push:
+                self.stall_stream += 1
+                return False
+        return True
+
+    def _write_dst(self, reg, value, latency, streamed):
+        lane = self._lane(reg, streamed)
+        if lane is not None:
+            lane.push(value)
+            return
+        self.fregs[reg] = value
+        current = self._ready.get(reg, 0)
+        ready = self.engine.cycle + latency
+        if current != _WAIT_MEM and current > ready:
+            ready = current
+        self._ready[reg] = ready
+        if ready > self._busy_until:
+            self._busy_until = ready
+
+    def _issue(self, instr, addr, int_value, streamed, stagger):
+        """Try to issue one micro-op; returns False to retry next cycle."""
+        op = instr.op
+        mask = 0
+        st_count = 0
+        if self._loop is not None and self._loop.st_mask:
+            mask = self._loop.st_mask
+
+        rd = self._stagger(instr.rd, 0, mask, stagger)
+        rs1 = self._stagger(instr.rs1, 1, mask, stagger)
+        rs2 = self._stagger(instr.rs2, 2, mask, stagger)
+        rs3 = self._stagger(instr.rs3, 3, mask, stagger)
+        del st_count
+
+        if op == "fld":
+            if not self.lsu_slot.idle:
+                self.stall_lsu += 1
+                return False
+            self._ready[rd] = _WAIT_MEM
+            self._outstanding += 1
+            self.lsu_slot.request(addr, 8, False, sink=self._on_load, tag=rd)
+            self.issued_ops += 1
+            return True
+
+        if op == "fsd":
+            if not self.lsu_slot.idle:
+                self.stall_lsu += 1
+                return False
+            if not self._src_ready(rs2, streamed):
+                return False
+            value = self._read_src(rs2, streamed)
+            self.lsu_slot.request(addr, 8, True, value=value)
+            self.issued_ops += 1
+            return True
+
+        if op in FP_FROM_INT_OPS:
+            # int operand value was captured at offload time
+            if not self._dst_ready(rd, streamed):
+                return False
+            value = float(int_value)
+            self._write_dst(rd, value, FPU_SHORT_LATENCY, streamed)
+            self._finish_arith(op, FPU_SHORT_LATENCY)
+            return True
+
+        if op in FP_TO_INT_OPS:
+            if not self._src_ready(rs1, streamed):
+                return False
+            if op in ("feq.d", "flt.d", "fle.d") and not self._src_ready(rs2, streamed):
+                return False
+            a = self._read_src(rs1, streamed)
+            if op == "fcvt.w.d" or op == "fcvt.wu.d":
+                result = int(a)
+            elif op == "fmv.x.d":
+                result = a  # raw move modelled as value-preserving
+            else:
+                b = self._read_src(rs2, streamed)
+                result = int(_compare(op, a, b))
+            done = self.engine.cycle + FPU_SHORT_LATENCY
+            self._outstanding += 1
+            self.engine.at(done, self._complete_to_int, instr.rd, result)
+            self.core.int_result_pending(instr.rd)
+            self.issued_ops += 1
+            return True
+
+        # pure FP-domain arithmetic / moves
+        n_src = _source_count(op)
+        srcs = (rs1, rs2, rs3)[:n_src]
+        for reg in srcs:
+            if not self._src_ready(reg, streamed):
+                return False
+        if not self._dst_ready(rd, streamed):
+            return False
+        values = [self._read_src(r, streamed) for r in srcs]
+        result, latency = _execute(op, values, int_value)
+        self._write_dst(rd, result, latency, streamed)
+        self._finish_arith(op, latency)
+        return True
+
+    def _finish_arith(self, op, latency):
+        self.issued_ops += 1
+        if op in FP_FMA_OPS or op in FP_SHORT_OPS or op in FP_LONG_OPS:
+            self.compute_ops += 1
+            self.busy_cycles += 1
+        if op in FP_MAC_OPS:
+            self.mac_ops += 1
+            if self.first_mac_cycle is None:
+                self.first_mac_cycle = self.engine.cycle
+            self.last_mac_cycle = self.engine.cycle
+
+    def _on_load(self, rd, value):
+        if not isinstance(value, float):
+            raise SimulationError(
+                f"{self.name}: fld got non-float {value!r} (f{rd}); check addresses"
+            )
+        self.fregs[rd] = value
+        self._ready[rd] = self.engine.cycle
+        self._outstanding -= 1
+
+    def _complete_to_int(self, rd, value):
+        self.core.int_result_deliver(rd, value)
+        self._outstanding -= 1
+
+    def reset_stats(self):
+        self.compute_ops = 0
+        self.mac_ops = 0
+        self.issued_ops = 0
+        self.stall_stream = 0
+        self.stall_raw = 0
+        self.stall_lsu = 0
+        self.busy_cycles = 0
+        self.first_mac_cycle = None
+        self.last_mac_cycle = None
+
+
+def _source_count(op):
+    if op in FP_MAC_OPS:
+        return 3
+    if op in ("fmv.d", "fsqrt.d"):
+        return 1
+    return 2  # fadd/fsub/fmul/fdiv/fmin/fmax/fsgnj*
+
+
+def _execute(op, values, int_value):
+    """Compute the result and latency of an FP-domain operation."""
+    if op == "fmadd.d":
+        return values[0] * values[1] + values[2], FPU_LATENCY
+    if op == "fmsub.d":
+        return values[0] * values[1] - values[2], FPU_LATENCY
+    if op == "fnmadd.d":
+        return -(values[0] * values[1]) - values[2], FPU_LATENCY
+    if op == "fnmsub.d":
+        return -(values[0] * values[1]) + values[2], FPU_LATENCY
+    if op == "fadd.d":
+        return values[0] + values[1], FPU_LATENCY
+    if op == "fsub.d":
+        return values[0] - values[1], FPU_LATENCY
+    if op == "fmul.d":
+        return values[0] * values[1], FPU_LATENCY
+    if op == "fdiv.d":
+        return values[0] / values[1], FPU_LONG_LATENCY
+    if op == "fsqrt.d":
+        return math.sqrt(values[0]), FPU_LONG_LATENCY
+    if op == "fmin.d":
+        return min(values[0], values[1]), FPU_SHORT_LATENCY
+    if op == "fmax.d":
+        return max(values[0], values[1]), FPU_SHORT_LATENCY
+    if op == "fsgnj.d":
+        return math.copysign(abs(values[0]), values[1]), FPU_MOVE_LATENCY
+    if op == "fsgnjn.d":
+        return math.copysign(abs(values[0]), -values[1]), FPU_MOVE_LATENCY
+    if op == "fsgnjx.d":
+        sign = -1.0 if (values[0] < 0) != (values[1] < 0) else 1.0
+        return abs(values[0]) * sign, FPU_MOVE_LATENCY
+    if op == "fmv.d":
+        return values[0], FPU_MOVE_LATENCY
+    raise SimulationError(f"unknown FP op {op!r}")
+
+
+def _compare(op, a, b):
+    if op == "feq.d":
+        return a == b
+    if op == "flt.d":
+        return a < b
+    if op == "fle.d":
+        return a <= b
+    raise SimulationError(f"unknown FP compare {op!r}")

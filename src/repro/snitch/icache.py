@@ -1,0 +1,80 @@
+"""Instruction cache models.
+
+Single-CC experiments use an ideal single-cycle instruction memory
+(§IV-A). In the cluster, each core complex has a small L0 buffer in
+front of a shared L1 instruction cache per four-core hive (§II-C,
+Fig. 3); outer-loop code that overflows the L0 causes the "instruction
+cache stalls" the paper mentions in §IV-B.
+
+The model: the L0 holds a few 8-instruction lines (FIFO replacement);
+an L0 miss requests the line from the hive's shared L1, which serves
+one refill per cycle among its cores with a fixed latency. The L1
+itself always hits (the paper's kernels fit easily).
+"""
+
+from collections import deque
+
+#: Instructions per cache line.
+LINE_WORDS = 8
+#: L0 lines per core. Snitch's L0 holds ~128 B; with RVC compression
+#: that is ~64 instructions, i.e. 8 of our 8-instruction lines.
+L0_LINES = 8
+#: Cycles from L1 grant to L0 refill.
+L1_LATENCY = 2
+
+
+class IdealICache:
+    """Always hits; models the single-CC ideal instruction memory."""
+
+    def fetch(self, pc):
+        return True
+
+
+class SharedL1:
+    """A per-hive refill server: one L0 line refill per cycle."""
+
+    def __init__(self, engine, name="l1i"):
+        self.engine = engine
+        self.name = name
+        self._queue = deque()
+        self.refills = 0
+        self.wait_cycles = 0
+
+    def request(self, l0, line):
+        self._queue.append((l0, line))
+
+    def tick(self):
+        if not self._queue:
+            return
+        self.wait_cycles += len(self._queue) - 1
+        l0, line = self._queue.popleft()
+        self.refills += 1
+        self.engine.at(self.engine.cycle + L1_LATENCY, l0.refill, line)
+
+
+class L0ICache:
+    """A tiny per-core loop buffer backed by a shared L1."""
+
+    def __init__(self, l1, name="l0i", n_lines=L0_LINES):
+        self.l1 = l1
+        self.name = name
+        self.n_lines = n_lines
+        self._lines = deque(maxlen=n_lines)
+        self._pending = None
+        self.hits = 0
+        self.misses = 0
+
+    def fetch(self, pc):
+        line = pc // LINE_WORDS
+        if line in self._lines:
+            self.hits += 1
+            return True
+        self.misses += 1
+        if self._pending is None:
+            self._pending = line
+            self.l1.request(self, line)
+        return False
+
+    def refill(self, line):
+        self._lines.append(line)
+        self._pending = None

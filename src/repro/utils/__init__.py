@@ -1,0 +1,21 @@
+"""Small shared utilities: hardware FIFOs, bit packing, seeded RNG."""
+
+from repro.utils.bits import (
+    pack_indices,
+    unpack_index,
+    unpack_indices,
+    sign_extend,
+    field_mask,
+)
+from repro.utils.fifo import Fifo
+from repro.utils.rng import make_rng
+
+__all__ = [
+    "Fifo",
+    "pack_indices",
+    "unpack_index",
+    "unpack_indices",
+    "sign_extend",
+    "field_mask",
+    "make_rng",
+]

@@ -1,0 +1,77 @@
+"""Bit-level packing helpers for sub-word index arrays.
+
+The ISSR reads 64-bit words from memory and extracts 16- or 32-bit indices
+from them (paper §II-A, the "index serializer"). Our simulated memory is
+word-granular, so integer index arrays are stored as packed 64-bit words;
+these helpers implement the exact packing/unpacking arithmetic the
+hardware serializer performs.
+
+All packing is little-endian within the word: index 0 occupies the least
+significant bits, matching RISC-V memory order.
+"""
+
+from repro.errors import FormatError
+
+WORD_BYTES = 8
+WORD_BITS = 64
+
+#: Supported index widths in bits, as in the paper's hardware.
+INDEX_WIDTHS = (16, 32)
+
+
+def field_mask(bits):
+    """Return a mask of ``bits`` ones (e.g. ``field_mask(16) == 0xFFFF``)."""
+    return (1 << bits) - 1
+
+
+def indices_per_word(index_bits):
+    """How many ``index_bits``-wide indices fit in one 64-bit word."""
+    if index_bits not in INDEX_WIDTHS:
+        raise FormatError(f"unsupported index width {index_bits}, expected one of {INDEX_WIDTHS}")
+    return WORD_BITS // index_bits
+
+
+def pack_indices(indices, index_bits):
+    """Pack an iterable of unsigned indices into a list of 64-bit words.
+
+    The final word is zero-padded, exactly as a C array allocated on an
+    8-byte boundary would read back.
+    """
+    per_word = indices_per_word(index_bits)
+    mask = field_mask(index_bits)
+    words = []
+    current = 0
+    slot = 0
+    for idx in indices:
+        idx = int(idx)  # coerce numpy scalars to Python ints (no overflow)
+        if idx < 0 or idx > mask:
+            raise FormatError(f"index {idx} does not fit in {index_bits} bits")
+        current |= (idx & mask) << (slot * index_bits)
+        slot += 1
+        if slot == per_word:
+            words.append(current)
+            current = 0
+            slot = 0
+    if slot:
+        words.append(current)
+    return words
+
+def unpack_index(word, slot, index_bits):
+    """Extract the ``slot``-th index from a packed 64-bit ``word``."""
+    return (word >> (slot * index_bits)) & field_mask(index_bits)
+
+
+def unpack_indices(words, count, index_bits):
+    """Unpack ``count`` indices from a list of packed 64-bit words."""
+    per_word = indices_per_word(index_bits)
+    out = []
+    for i in range(count):
+        word = words[i // per_word]
+        out.append(unpack_index(word, i % per_word, index_bits))
+    return out
+
+
+def sign_extend(value, bits):
+    """Sign-extend a ``bits``-wide two's-complement value to a Python int."""
+    sign_bit = 1 << (bits - 1)
+    return (value & (sign_bit - 1)) - (value & sign_bit)

@@ -1,0 +1,68 @@
+"""Fixed-depth FIFO used to model hardware queues.
+
+The streamer data FIFOs, the FPU offload queue, and the ISSR index word
+buffer are all fixed-depth queues in hardware; this class models them with
+explicit full/empty semantics so that back-pressure emerges naturally in
+the cycle-level simulation.
+"""
+
+from collections import deque
+
+from repro.errors import SimulationError
+
+
+class Fifo:
+    """A bounded FIFO with hardware-style full/empty checks.
+
+    Pushing into a full FIFO or popping from an empty one raises
+    :class:`SimulationError`: components are expected to check
+    :meth:`can_push` / :meth:`can_pop` first, exactly like a hardware
+    handshake would gate the enqueue/dequeue strobes.
+    """
+
+    __slots__ = ("depth", "_items", "name")
+
+    def __init__(self, depth, name="fifo"):
+        if depth < 1:
+            raise SimulationError(f"{name}: FIFO depth must be >= 1, got {depth}")
+        self.depth = depth
+        self.name = name
+        self._items = deque()
+
+    def __len__(self):
+        return len(self._items)
+
+    def __bool__(self):
+        return bool(self._items)
+
+    def __iter__(self):
+        return iter(self._items)
+
+    @property
+    def free(self):
+        """Number of empty slots."""
+        return self.depth - len(self._items)
+
+    def can_push(self, count=1):
+        return len(self._items) + count <= self.depth
+
+    def can_pop(self):
+        return bool(self._items)
+
+    def push(self, item):
+        if not self.can_push():
+            raise SimulationError(f"{self.name}: push into full FIFO (depth {self.depth})")
+        self._items.append(item)
+
+    def pop(self):
+        if not self._items:
+            raise SimulationError(f"{self.name}: pop from empty FIFO")
+        return self._items.popleft()
+
+    def peek(self):
+        if not self._items:
+            raise SimulationError(f"{self.name}: peek at empty FIFO")
+        return self._items[0]
+
+    def clear(self):
+        self._items.clear()

@@ -1,0 +1,39 @@
+"""Workload generation: synthetic tensors and the stand-in matrix catalog."""
+
+from repro.workloads.collection import (
+    G7,
+    G11,
+    PAPER_SET,
+    RAGUSA18,
+    RECTANGULAR_SET,
+    MatrixSpec,
+    calibration_set,
+    get_spec,
+    load,
+    matrix_names,
+    paper_set,
+)
+from repro.workloads.synthetic import (
+    random_csr,
+    random_dense_matrix,
+    random_dense_vector,
+    random_sparse_vector,
+)
+
+__all__ = [
+    "MatrixSpec",
+    "RAGUSA18",
+    "G11",
+    "G7",
+    "PAPER_SET",
+    "RECTANGULAR_SET",
+    "matrix_names",
+    "get_spec",
+    "paper_set",
+    "calibration_set",
+    "load",
+    "random_csr",
+    "random_dense_matrix",
+    "random_dense_vector",
+    "random_sparse_vector",
+]

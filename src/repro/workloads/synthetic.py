@@ -1,0 +1,154 @@
+"""Synthetic tensor generators matching the paper's methodology.
+
+Paper §IV: "we obtained dense test tensors by sampling normally-
+distributed values. Sparse vectors were generated with normally-
+distributed values and uniformly-distributed indices given a fixed
+nonzero count and dimension." We add CSR generators with several
+row-degree distributions so the stand-in matrix catalog can mimic the
+structure of real SuiteSparse problems.
+"""
+
+import numpy as np
+
+from repro.errors import FormatError
+from repro.formats.csr import CsrMatrix
+from repro.formats.fiber import SparseFiber
+from repro.utils.rng import make_rng
+
+#: Row-degree distributions supported by :func:`random_csr`.
+ROW_DISTRIBUTIONS = ("uniform", "powerlaw", "banded", "block", "constant")
+
+
+def random_dense_vector(dim, seed=None):
+    """A dense vector of normally-distributed values."""
+    if dim < 0:
+        raise FormatError(f"negative vector dimension {dim}")
+    return make_rng(seed).standard_normal(dim)
+
+
+def random_dense_matrix(nrows, ncols, seed=None):
+    """A dense row-major matrix of normally-distributed values."""
+    if nrows < 0 or ncols < 0:
+        raise FormatError(f"negative matrix shape ({nrows}, {ncols})")
+    return make_rng(seed).standard_normal((nrows, ncols))
+
+
+def random_sparse_vector(dim, nnz, seed=None):
+    """A sparse vector with uniform indices and normal values.
+
+    Indices are sampled without replacement (a fiber cannot repeat a
+    position) and returned sorted, as required by :class:`SparseFiber`.
+    """
+    if nnz > dim:
+        raise FormatError(f"cannot place {nnz} nonzeros in dimension {dim}")
+    rng = make_rng(seed)
+    idcs = np.sort(rng.choice(dim, size=nnz, replace=False))
+    vals = rng.standard_normal(nnz)
+    return SparseFiber(idcs, vals, dim=dim)
+
+
+def random_csr(nrows, ncols, nnz, distribution="uniform", seed=None, **kwargs):
+    """A random CSR matrix with ``nnz`` total nonzeros.
+
+    ``distribution`` selects how nonzeros spread across rows:
+
+    - ``uniform``: every nonzero lands in a uniformly random row.
+    - ``constant``: every row gets exactly ``nnz // nrows`` (plus
+      remainder spread over the first rows) — minimal load imbalance.
+    - ``powerlaw``: row degrees follow a Zipf-like law with exponent
+      ``alpha`` (default 1.3) — models scale-free graphs.
+    - ``banded``: nonzeros cluster within ``bandwidth`` (default
+      ``max(8, ncols // 16)``) of the diagonal — models PDE stencils.
+    - ``block``: nonzeros cluster in ``blocks`` (default 8) random
+      column blocks per row group — models multiphysics coupling.
+    """
+    if distribution not in ROW_DISTRIBUTIONS:
+        raise FormatError(f"unknown distribution {distribution!r}, expected {ROW_DISTRIBUTIONS}")
+    if nrows <= 0 or ncols <= 0:
+        raise FormatError(f"matrix shape must be positive, got ({nrows}, {ncols})")
+    if nnz > nrows * ncols:
+        raise FormatError(f"cannot place {nnz} nonzeros in a {nrows}x{ncols} matrix")
+    rng = make_rng(seed)
+    degrees = _row_degrees(rng, nrows, ncols, nnz, distribution, kwargs)
+
+    rows = np.repeat(np.arange(nrows, dtype=np.int64), degrees)
+    cols = np.empty(len(rows), dtype=np.int64)
+    pos = 0
+    bandwidth = kwargs.get("bandwidth", max(8, ncols // 16))
+    blocks = kwargs.get("blocks", 8)
+    block_cols = max(1, ncols // max(blocks * 4, 1))
+    for r in range(nrows):
+        d = degrees[r]
+        if d == 0:
+            continue
+        if distribution == "banded":
+            center = int(round(r * (ncols - 1) / max(nrows - 1, 1)))
+            lo = max(0, center - bandwidth)
+            hi = min(ncols, center + bandwidth + 1)
+            universe = np.arange(lo, hi)
+            if d > len(universe):
+                universe = np.arange(ncols)
+            pick = rng.choice(universe, size=d, replace=False)
+        elif distribution == "block":
+            starts = rng.integers(0, max(ncols - block_cols, 1), size=blocks)
+            universe = np.unique(
+                np.concatenate([np.arange(s, min(s + block_cols, ncols)) for s in starts])
+            )
+            if d > len(universe):
+                universe = np.arange(ncols)
+            pick = rng.choice(universe, size=d, replace=False)
+        else:
+            pick = rng.choice(ncols, size=d, replace=False)
+        cols[pos:pos + d] = np.sort(pick)
+        pos += d
+    vals = rng.standard_normal(nnz)
+    ptr = np.zeros(nrows + 1, dtype=np.int64)
+    np.cumsum(degrees, out=ptr[1:])
+    return CsrMatrix(ptr, cols, vals, (nrows, ncols))
+
+
+def _row_degrees(rng, nrows, ncols, nnz, distribution, kwargs):
+    """Split ``nnz`` into per-row degrees according to ``distribution``."""
+    if distribution == "constant":
+        base, rem = divmod(nnz, nrows)
+        degrees = np.full(nrows, base, dtype=np.int64)
+        degrees[:rem] += 1
+    elif distribution == "powerlaw":
+        alpha = kwargs.get("alpha", 1.3)
+        weights = 1.0 / np.power(np.arange(1, nrows + 1, dtype=np.float64), alpha)
+        rng.shuffle(weights)
+        degrees = _apportion(weights, nnz)
+    else:  # uniform / banded / block: multinomial row choice
+        weights = np.full(nrows, 1.0 / nrows)
+        degrees = rng.multinomial(nnz, weights).astype(np.int64)
+    # No row may exceed the number of columns; redistribute overflow.
+    return _clip_degrees(rng, degrees, ncols, nnz)
+
+
+def _apportion(weights, total):
+    """Largest-remainder apportionment of ``total`` items by ``weights``."""
+    shares = weights / weights.sum() * total
+    floor = np.floor(shares).astype(np.int64)
+    remainder = total - floor.sum()
+    if remainder > 0:
+        order = np.argsort(shares - floor)[::-1]
+        floor[order[:remainder]] += 1
+    return floor
+
+
+def _clip_degrees(rng, degrees, ncols, nnz):
+    overflow = degrees - ncols
+    overflow[overflow < 0] = 0
+    spill = int(overflow.sum())
+    degrees = np.minimum(degrees, ncols)
+    while spill > 0:
+        room = ncols - degrees
+        open_rows = np.nonzero(room > 0)[0]
+        if len(open_rows) == 0:
+            raise FormatError("cannot redistribute nonzeros: matrix too dense")
+        take = min(spill, len(open_rows))
+        chosen = rng.choice(open_rows, size=take, replace=False)
+        degrees[chosen] += 1
+        spill -= take
+    assert degrees.sum() == nnz
+    return degrees

@@ -1,0 +1,122 @@
+"""Unit tests for CSF tensors."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FormatError
+from repro.formats import CsfTensor, CsrMatrix, convert
+
+
+def random_dense_tensor(shape, density, seed):
+    rng = np.random.default_rng(seed)
+    dense = rng.standard_normal(shape)
+    dense[rng.random(shape) > density] = 0.0
+    return dense
+
+
+class TestConstruction:
+    def test_order2_roundtrip(self):
+        dense = random_dense_tensor((6, 8), 0.3, 1)
+        t = CsfTensor.from_dense(dense)
+        assert t.order == 2
+        assert np.allclose(t.to_dense(), dense)
+
+    def test_order3_roundtrip(self):
+        dense = random_dense_tensor((4, 5, 6), 0.2, 2)
+        t = CsfTensor.from_dense(dense)
+        assert t.order == 3
+        assert np.allclose(t.to_dense(), dense)
+
+    def test_order4_roundtrip(self):
+        dense = random_dense_tensor((3, 3, 4, 4), 0.15, 3)
+        t = CsfTensor.from_dense(dense)
+        assert t.order == 4
+        assert np.allclose(t.to_dense(), dense)
+
+    def test_order1_rejected(self):
+        with pytest.raises(FormatError):
+            CsfTensor((5,), [], [np.array([0])], [1.0])
+
+    def test_duplicate_coords_rejected(self):
+        with pytest.raises(FormatError):
+            CsfTensor.from_coo([[0, 1], [0, 1]], [1.0, 2.0], (2, 2))
+
+    def test_out_of_range_coord(self):
+        with pytest.raises(FormatError):
+            CsfTensor.from_coo([[0, 5]], [1.0], (2, 2))
+
+    def test_empty_tensor(self):
+        t = CsfTensor.from_coo(np.zeros((0, 2), dtype=int), [], (3, 4))
+        assert t.nnz == 0
+        assert np.all(t.to_dense() == 0)
+
+
+class TestLeafFibers:
+    def test_leaf_fiber_order2(self):
+        dense = np.array([[1.0, 0.0, 2.0], [0.0, 0.0, 0.0]])
+        t = CsfTensor.from_dense(dense)
+        fiber = t.leaf_fiber(0)
+        assert list(fiber.indices) == [0, 2]
+        assert list(fiber.values) == [1.0, 2.0]
+
+    def test_leaf_fiber_missing_prefix(self):
+        dense = np.array([[1.0, 0.0], [0.0, 0.0]])
+        t = CsfTensor.from_dense(dense)
+        assert t.leaf_fiber(1).nnz == 0
+
+    def test_leaf_fiber_order3(self):
+        dense = random_dense_tensor((3, 4, 5), 0.4, 4)
+        t = CsfTensor.from_dense(dense)
+        for i in range(3):
+            for j in range(4):
+                expect = dense[i, j]
+                got = t.leaf_fiber(i, j).to_dense()
+                assert np.allclose(got, expect)
+
+    def test_leaf_fiber_bad_prefix_len(self):
+        t = CsfTensor.from_dense(np.eye(3))
+        with pytest.raises(FormatError):
+            t.leaf_fiber(0, 0)
+
+
+class TestTtv:
+    def test_ttv_order2_is_spmv(self):
+        dense = random_dense_tensor((5, 7), 0.4, 5)
+        t = CsfTensor.from_dense(dense)
+        v = np.random.default_rng(6).standard_normal(7)
+        assert np.allclose(t.ttv(v), dense @ v)
+
+    def test_ttv_order3(self):
+        dense = random_dense_tensor((3, 4, 6), 0.3, 7)
+        t = CsfTensor.from_dense(dense)
+        v = np.random.default_rng(8).standard_normal(6)
+        assert np.allclose(t.ttv(v), dense @ v)
+
+    def test_ttv_short_vector(self):
+        t = CsfTensor.from_dense(np.eye(3))
+        with pytest.raises(FormatError):
+            t.ttv([1.0])
+
+
+class TestCsrBridge:
+    def test_csr_to_csf_and_back(self):
+        m = CsrMatrix.from_dense(random_dense_tensor((7, 9), 0.35, 9))
+        t = convert.csr_to_csf(m)
+        back = convert.csf_to_csr(t)
+        assert back == m
+
+    def test_csf_to_csr_requires_order2(self):
+        t = CsfTensor.from_dense(random_dense_tensor((2, 2, 2), 0.9, 10))
+        with pytest.raises(FormatError):
+            convert.csf_to_csr(t)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 2 ** 31), st.sampled_from([(4, 6), (3, 4, 5)]))
+def test_csf_roundtrip_property(seed, shape):
+    dense = random_dense_tensor(shape, 0.3, seed)
+    t = CsfTensor.from_dense(dense)
+    assert np.allclose(t.to_dense(), dense)
+    assert t.nnz == np.count_nonzero(dense)

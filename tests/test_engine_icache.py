@@ -1,0 +1,110 @@
+"""Tests for the engine event wheel, watchdog, and instruction caches."""
+
+import pytest
+
+from repro.errors import DeadlockError
+from repro.sim.engine import Engine
+from repro.snitch.icache import L0ICache, LINE_WORDS, SharedL1, IdealICache
+
+
+class TestEngine:
+    def test_event_ordering(self):
+        eng = Engine()
+        seen = []
+        eng.at(2, seen.append, "b")
+        eng.at(1, seen.append, "a")
+        eng.at(2, seen.append, "c")
+        for _ in range(4):
+            eng.step()
+        assert seen == ["a", "b", "c"]
+
+    def test_after_helper(self):
+        eng = Engine()
+        seen = []
+        eng.after(3, seen.append, 1)
+        for _ in range(3):
+            eng.step()
+        assert seen == []   # events deliver at the start of their cycle
+        eng.step()
+        assert seen == [1]
+
+    def test_run_until_done(self):
+        eng = Engine()
+        flag = []
+        eng.at(5, flag.append, True)
+        cycles = eng.run(lambda: bool(flag))
+        assert cycles == 6  # events deliver at cycle start; +1 step
+
+    def test_watchdog_fires(self):
+        eng = Engine(watchdog=10)
+        with pytest.raises(DeadlockError):
+            eng.run(lambda: False, max_cycles=1000)
+
+    def test_max_cycles(self):
+        eng = Engine(watchdog=10 ** 9)
+        with pytest.raises(DeadlockError):
+            eng.run(lambda: False, max_cycles=50)
+
+    def test_note_progress_feeds_watchdog(self):
+        eng = Engine(watchdog=5)
+
+        class Ticker:
+            def __init__(self):
+                self.n = 0
+
+            def tick(self):
+                self.n += 1
+                eng.note_progress()
+
+        t = Ticker()
+        eng.add(t)
+        eng.run(lambda: t.n >= 50)
+        assert t.n == 50
+
+
+class TestICache:
+    def test_ideal_always_hits(self):
+        assert IdealICache().fetch(12345)
+
+    def test_l0_miss_then_hit(self):
+        eng = Engine()
+        l1 = SharedL1(eng)
+        eng.add(l1)
+        l0 = L0ICache(l1)
+        assert not l0.fetch(0)       # cold miss
+        for _ in range(4):
+            eng.step()
+        assert l0.fetch(0)           # refilled
+        assert l0.fetch(LINE_WORDS - 1)  # same line
+        assert l0.hits == 2
+        assert l0.misses >= 1
+
+    def test_l0_capacity_eviction(self):
+        eng = Engine()
+        l1 = SharedL1(eng)
+        eng.add(l1)
+        l0 = L0ICache(l1, n_lines=2)
+
+        def warm(pc):
+            while not l0.fetch(pc):
+                eng.step()
+                eng.step()
+
+        warm(0)
+        warm(LINE_WORDS)
+        warm(2 * LINE_WORDS)  # evicts line 0
+        assert not l0.fetch(0)
+
+    def test_l1_serializes_refills(self):
+        eng = Engine()
+        l1 = SharedL1(eng)
+        eng.add(l1)
+        l0a, l0b = L0ICache(l1), L0ICache(l1)
+        l0a.fetch(0)
+        l0b.fetch(64)
+        eng.step()          # serves one refill
+        assert l1.refills == 1
+        for _ in range(5):
+            eng.step()
+        assert l1.refills == 2
+        assert l1.wait_cycles >= 1

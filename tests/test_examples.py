@@ -1,0 +1,46 @@
+"""Smoke tests: every example script runs end to end.
+
+The examples assert their own numerical correctness internally; these
+tests only verify they execute without error (stdout suppressed).
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, capsys):
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    spec.loader.exec_module(module)
+    module.main()
+    out = capsys.readouterr().out
+    assert out.strip()
+    return out
+
+
+def test_scatter_gather_toolbox(capsys):
+    out = run_example("scatter_gather_toolbox", capsys)
+    assert "gather" in out
+
+
+def test_sparse_mlp_inference(capsys):
+    out = run_example("sparse_mlp_inference", capsys)
+    assert "speedup" in out
+
+
+@pytest.mark.slow
+def test_quickstart(capsys):
+    out = run_example("quickstart", capsys)
+    assert "SpVV" in out
+
+
+@pytest.mark.slow
+def test_graph_pagerank(capsys):
+    out = run_example("graph_pagerank", capsys)
+    assert "PageRank" in out

@@ -1,0 +1,122 @@
+"""Unit tests for sparse fibers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FormatError
+from repro.formats import SparseFiber
+
+
+class TestConstruction:
+    def test_basic(self):
+        f = SparseFiber([1, 3, 7], [1.0, 2.0, 3.0], dim=10)
+        assert f.nnz == 3
+        assert f.dim == 10
+        assert f.density == pytest.approx(0.3)
+
+    def test_default_dim(self):
+        f = SparseFiber([0, 5], [1.0, 2.0])
+        assert f.dim == 6
+
+    def test_empty(self):
+        f = SparseFiber([], [])
+        assert f.nnz == 0
+        assert f.dim == 0
+        assert f.density == 0.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(FormatError):
+            SparseFiber([1, 2], [1.0])
+
+    def test_negative_index(self):
+        with pytest.raises(FormatError):
+            SparseFiber([-1, 2], [1.0, 2.0])
+
+    def test_unsorted(self):
+        with pytest.raises(FormatError):
+            SparseFiber([3, 1], [1.0, 2.0])
+
+    def test_duplicate_index(self):
+        with pytest.raises(FormatError):
+            SparseFiber([2, 2], [1.0, 2.0])
+
+    def test_index_out_of_dim(self):
+        with pytest.raises(FormatError):
+            SparseFiber([5], [1.0], dim=5)
+
+    def test_2d_rejected(self):
+        with pytest.raises(FormatError):
+            SparseFiber([[1], [2]], [[1.0], [2.0]])
+
+
+class TestConversion:
+    def test_dense_roundtrip(self):
+        dense = np.array([0.0, 1.5, 0.0, -2.0, 0.0])
+        f = SparseFiber.from_dense(dense)
+        assert f.nnz == 2
+        assert np.array_equal(f.to_dense(), dense)
+
+    def test_from_dense_tolerance(self):
+        dense = np.array([1e-12, 1.0, -1e-12])
+        f = SparseFiber.from_dense(dense, tol=1e-9)
+        assert f.nnz == 1
+        assert f.indices[0] == 1
+
+    def test_to_dense_empty(self):
+        assert len(SparseFiber([], [], dim=4).to_dense()) == 4
+
+    def test_equality(self):
+        a = SparseFiber([1], [2.0], dim=3)
+        b = SparseFiber([1], [2.0], dim=3)
+        c = SparseFiber([1], [2.5], dim=3)
+        assert a == b
+        assert a != c
+        assert (a == 17) is NotImplemented or True
+
+
+class TestDot:
+    def test_dot_dense(self):
+        f = SparseFiber([0, 2], [2.0, 3.0], dim=3)
+        assert f.dot_dense([1.0, 10.0, 100.0]) == pytest.approx(302.0)
+
+    def test_dot_short_operand(self):
+        f = SparseFiber([0, 2], [2.0, 3.0], dim=3)
+        with pytest.raises(FormatError):
+            f.dot_dense([1.0, 2.0])
+
+    def test_dot_empty(self):
+        assert SparseFiber([], [], dim=0).dot_dense([]) == 0.0
+
+
+class TestIndexBits:
+    def test_small_fits_16(self):
+        assert SparseFiber([10], [1.0]).index_bits_required() == 16
+
+    def test_large_needs_32(self):
+        assert SparseFiber([70000], [1.0]).index_bits_required() == 32
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.integers(0, 499), min_size=0, max_size=60, unique=True))
+def test_fiber_dense_roundtrip_property(idcs):
+    idcs = sorted(idcs)
+    vals = [float(i + 1) for i in range(len(idcs))]
+    f = SparseFiber(idcs, vals, dim=500)
+    g = SparseFiber.from_dense(f.to_dense())
+    assert g.nnz == f.nnz
+    assert np.array_equal(g.indices, f.indices)
+    assert np.array_equal(g.values, f.values)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(0, 99), min_size=1, max_size=30, unique=True),
+       st.integers(0, 2 ** 31))
+def test_dot_matches_numpy_property(idcs, seed):
+    rng = np.random.default_rng(seed)
+    idcs = sorted(idcs)
+    vals = rng.standard_normal(len(idcs))
+    x = rng.standard_normal(100)
+    f = SparseFiber(idcs, vals, dim=100)
+    assert f.dot_dense(x) == pytest.approx(float(f.to_dense() @ x), rel=1e-9, abs=1e-9)

@@ -1,0 +1,125 @@
+"""Unit tests for the ISA, registers, and program builder."""
+
+import pytest
+
+from repro.errors import AssemblerError
+from repro.isa import Program, ProgramBuilder, fp_reg, int_reg
+from repro.isa.isa import ALL_OPS, FP_OPS, Instr
+
+
+class TestRegisters:
+    def test_abi_names(self):
+        assert int_reg("zero") == 0
+        assert int_reg("ra") == 1
+        assert int_reg("a0") == 10
+        assert int_reg("t6") == 31
+        assert int_reg("fp") == int_reg("s0") == 8
+
+    def test_numeric_names(self):
+        assert int_reg("x7") == 7
+        assert int_reg(12) == 12
+
+    def test_fp_names(self):
+        assert fp_reg("ft0") == 0
+        assert fp_reg("fa0") == 10
+        assert fp_reg("ft11") == 31
+        assert fp_reg(3) == 3
+
+    def test_unknown(self):
+        with pytest.raises(AssemblerError):
+            int_reg("bogus")
+        with pytest.raises(AssemblerError):
+            fp_reg("t0")
+        with pytest.raises(AssemblerError):
+            int_reg(32)
+
+
+class TestBuilder:
+    def test_label_resolution(self):
+        b = ProgramBuilder()
+        b.label("start")
+        b.addi("t0", "t0", 1)
+        b.bne("t0", "t1", "start")
+        b.halt()
+        prog = b.build()
+        assert prog.instrs[1].imm == 0
+
+    def test_forward_label(self):
+        b = ProgramBuilder()
+        b.beqz("t0", "end")
+        b.addi("t0", "t0", 1)
+        b.label("end")
+        b.halt()
+        prog = b.build()
+        assert prog.instrs[0].imm == 2
+
+    def test_undefined_label(self):
+        b = ProgramBuilder()
+        b.j("nowhere")
+        with pytest.raises(AssemblerError):
+            b.build()
+
+    def test_duplicate_label(self):
+        b = ProgramBuilder()
+        b.label("x")
+        with pytest.raises(AssemblerError):
+            b.label("x")
+
+    def test_unknown_op(self):
+        b = ProgramBuilder()
+        with pytest.raises(AssemblerError):
+            b.emit("vadd")
+
+    def test_frep_validation(self):
+        b = ProgramBuilder()
+        with pytest.raises(AssemblerError):
+            b.frep("t0", 0)
+        with pytest.raises(AssemblerError):
+            b.frep("t0", 99)
+        with pytest.raises(AssemblerError):
+            b.frep("t0", 1, stagger_count=0, stagger_mask=1)
+
+    def test_pc_property(self):
+        b = ProgramBuilder()
+        assert b.pc == 0
+        b.nop()
+        assert b.pc == 1
+
+    def test_disassemble(self):
+        b = ProgramBuilder()
+        b.label("loop")
+        b.addi("a0", "a0", -1)
+        b.bnez("a0", "loop")
+        listing = b.build().disassemble()
+        assert "loop:" in listing
+        assert "addi" in listing
+
+    def test_program_len(self):
+        b = ProgramBuilder()
+        b.nop()
+        b.halt()
+        assert len(b.build()) == 2
+
+    def test_fp_ops_encode_fp_regs(self):
+        b = ProgramBuilder()
+        b.fmadd_d("ft2", "ft0", "ft1", "ft2")
+        ins = b.build().instrs[0]
+        assert (ins.rd, ins.rs1, ins.rs2, ins.rs3) == (2, 0, 1, 2)
+
+    def test_mv_is_addi(self):
+        b = ProgramBuilder()
+        b.mv("t0", "t1")
+        ins = b.build().instrs[0]
+        assert ins.op == "addi" and ins.imm == 0
+
+    def test_instr_repr(self):
+        assert "fmadd.d" in repr(Instr("fmadd.d", rd=2, rs1=0, rs2=1, rs3=2))
+
+
+class TestOpSets:
+    def test_fp_ops_subset_of_all(self):
+        assert FP_OPS <= ALL_OPS
+
+    def test_expected_op_count(self):
+        # guards against accidentally dropping op categories
+        assert len(ALL_OPS) > 70

@@ -1,0 +1,108 @@
+"""Integration tests for CsrMV kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.formats import CsrMatrix
+from repro.kernels.csrmv import run_csrmv
+from repro.workloads import random_csr, random_dense_vector
+
+ALL_KERNELS = [("base", 32), ("base", 16), ("ssr", 32), ("ssr", 16),
+               ("issr", 32), ("issr", 16)]
+
+
+@pytest.mark.parametrize("variant,bits", ALL_KERNELS)
+def test_correct_medium(variant, bits):
+    m = random_csr(64, 256, 64 * 8, seed=1)
+    x = random_dense_vector(256, seed=2)
+    stats, y = run_csrmv(m, x, variant, bits)
+    assert stats.cycles > 0
+
+
+@pytest.mark.parametrize("variant,bits", ALL_KERNELS)
+def test_empty_matrix(variant, bits):
+    m = CsrMatrix(np.zeros(9, dtype=np.int64), [], [], (8, 16))
+    x = random_dense_vector(16, seed=3)
+    stats, y = run_csrmv(m, x, variant, bits)
+    assert np.all(y == 0.0)
+
+
+@pytest.mark.parametrize("variant,bits", ALL_KERNELS)
+def test_empty_rows_interleaved(variant, bits):
+    dense = np.zeros((7, 32))
+    dense[1, 3] = 2.0
+    dense[4, [0, 31]] = [1.0, -1.0]
+    dense[6, 7:20] = 3.0
+    m = CsrMatrix.from_dense(dense)
+    x = random_dense_vector(32, seed=4)
+    run_csrmv(m, x, variant, bits)
+
+
+@pytest.mark.parametrize("variant,bits", ALL_KERNELS)
+def test_single_element_rows(variant, bits):
+    m = random_csr(32, 64, 32, distribution="constant", seed=5)
+    x = random_dense_vector(64, seed=6)
+    run_csrmv(m, x, variant, bits)
+
+
+@pytest.mark.parametrize("variant,bits", [("issr", 16), ("issr", 32)])
+def test_row_length_around_accumulator_count(variant, bits):
+    """Rows straddling the short/long path threshold must be exact."""
+    for row_len in range(1, 12):
+        m = random_csr(6, 64, 6 * row_len, distribution="constant",
+                       seed=7 + row_len)
+        x = random_dense_vector(64, seed=8)
+        run_csrmv(m, x, variant, bits)
+
+
+@pytest.mark.parametrize("dist", ["uniform", "powerlaw", "banded", "block"])
+def test_structures(dist):
+    m = random_csr(48, 128, 48 * 6, distribution=dist, seed=9)
+    x = random_dense_vector(128, seed=10)
+    for variant, bits in (("base", 32), ("issr", 16)):
+        run_csrmv(m, x, variant, bits)
+
+
+class TestSpeedupShape:
+    """The Fig. 4b qualitative properties."""
+
+    def _speedup(self, npr, variant, bits, nrows=64, ncols=1024):
+        m = random_csr(nrows, ncols, npr * nrows, seed=20 + npr)
+        x = random_dense_vector(ncols, seed=21)
+        base, _ = run_csrmv(m, x, "base", 32)
+        other, _ = run_csrmv(m, x, variant, bits)
+        return base.cycles / other.cycles
+
+    def test_speedup_grows_with_density(self):
+        s = [self._speedup(npr, "issr", 16) for npr in (2, 8, 32, 128)]
+        assert s == sorted(s)
+        assert s[-1] > 5.5
+
+    def test_issr32_wins_at_low_density(self):
+        assert self._speedup(8, "issr", 32) > self._speedup(8, "issr", 16) * 0.98
+
+    def test_issr16_wins_at_high_density(self):
+        assert self._speedup(128, "issr", 16) > self._speedup(128, "issr", 32)
+
+    def test_ssr_modest_gain(self):
+        s = self._speedup(64, "ssr", 32)
+        assert 1.15 < s < 9 / 7 + 0.05
+
+    def test_issr_approaches_theoretical_limits(self):
+        s16 = self._speedup(256, "issr", 16, nrows=32, ncols=2048)
+        s32 = self._speedup(256, "issr", 32, nrows=32, ncols=2048)
+        assert 6.2 < s16 <= 7.2
+        assert 5.4 < s32 <= 6.0
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(1, 24), st.integers(1, 20), st.integers(0, 2 ** 31))
+def test_csrmv_correct_property(nrows, npr, seed):
+    ncols = 128
+    nnz = min(nrows * npr, nrows * ncols)
+    m = random_csr(nrows, ncols, nnz, seed=seed)
+    x = random_dense_vector(ncols, seed=seed + 1)
+    run_csrmv(m, x, "issr", 16)
+    run_csrmv(m, x, "base", 32)

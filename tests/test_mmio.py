@@ -1,0 +1,137 @@
+"""Unit tests for Matrix Market I/O."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError
+from repro.formats import CsrMatrix, read_matrix_market, write_matrix_market
+from repro.workloads import random_csr
+
+
+def lines(text):
+    return [ln + "\n" for ln in text.strip().splitlines()]
+
+
+class TestCoordinate:
+    def test_general_real(self):
+        m = read_matrix_market(lines("""
+%%MatrixMarket matrix coordinate real general
+% a comment
+3 3 2
+1 1 1.5
+3 2 -2.0
+"""))
+        assert m.shape == (3, 3)
+        assert m.to_dense()[0, 0] == 1.5
+        assert m.to_dense()[2, 1] == -2.0
+
+    def test_pattern(self):
+        m = read_matrix_market(lines("""
+%%MatrixMarket matrix coordinate pattern general
+2 2 2
+1 1
+2 2
+"""))
+        assert np.array_equal(m.to_dense(), np.eye(2))
+
+    def test_symmetric_expansion(self):
+        m = read_matrix_market(lines("""
+%%MatrixMarket matrix coordinate real symmetric
+3 3 2
+2 1 5.0
+3 3 1.0
+"""))
+        d = m.to_dense()
+        assert d[1, 0] == 5.0 and d[0, 1] == 5.0
+        assert d[2, 2] == 1.0
+        assert m.nnz == 3
+
+    def test_skew_symmetric(self):
+        m = read_matrix_market(lines("""
+%%MatrixMarket matrix coordinate real skew-symmetric
+2 2 1
+2 1 3.0
+"""))
+        d = m.to_dense()
+        assert d[1, 0] == 3.0 and d[0, 1] == -3.0
+
+    def test_skew_diagonal_rejected(self):
+        with pytest.raises(FormatError):
+            read_matrix_market(lines("""
+%%MatrixMarket matrix coordinate real skew-symmetric
+2 2 1
+1 1 3.0
+"""))
+
+    def test_wrong_entry_count(self):
+        with pytest.raises(FormatError):
+            read_matrix_market(lines("""
+%%MatrixMarket matrix coordinate real general
+2 2 2
+1 1 1.0
+"""))
+
+
+class TestArray:
+    def test_general_array(self):
+        m = read_matrix_market(lines("""
+%%MatrixMarket matrix array real general
+2 2
+1.0
+0.0
+3.0
+4.0
+"""))
+        assert np.array_equal(m.to_dense(), np.array([[1.0, 3.0], [0.0, 4.0]]))
+
+    def test_symmetric_array(self):
+        m = read_matrix_market(lines("""
+%%MatrixMarket matrix array real symmetric
+2 2
+1.0
+2.0
+3.0
+"""))
+        assert np.array_equal(m.to_dense(), np.array([[1.0, 2.0], [2.0, 3.0]]))
+
+    def test_pattern_array_rejected(self):
+        with pytest.raises(FormatError):
+            read_matrix_market(lines("""
+%%MatrixMarket matrix array pattern general
+2 2
+"""))
+
+
+class TestErrors:
+    def test_bad_banner(self):
+        with pytest.raises(FormatError):
+            read_matrix_market(lines("not a matrix market file\n1 1 0"))
+
+    def test_empty(self):
+        with pytest.raises(FormatError):
+            read_matrix_market([])
+
+    def test_unknown_field(self):
+        with pytest.raises(FormatError):
+            read_matrix_market(lines("""
+%%MatrixMarket matrix coordinate complex general
+1 1 0
+"""))
+
+
+class TestWriteRead:
+    def test_roundtrip(self, tmp_path):
+        m = random_csr(12, 17, 60, seed=11)
+        path = tmp_path / "m.mtx"
+        write_matrix_market(m, str(path), comment="round trip\ntwo lines")
+        back = read_matrix_market(str(path))
+        assert back.shape == m.shape
+        assert np.allclose(back.to_dense(), m.to_dense())
+
+    def test_roundtrip_empty(self, tmp_path):
+        m = CsrMatrix([0, 0], [], [], (1, 4))
+        path = tmp_path / "e.mtx"
+        write_matrix_market(m, str(path))
+        back = read_matrix_market(str(path))
+        assert back.shape == (1, 4)
+        assert back.nnz == 0

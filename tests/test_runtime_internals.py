@@ -1,0 +1,77 @@
+"""Unit tests for cluster-runtime internals and counters."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import SnitchCluster
+from repro.cluster.runtime import ClusterCsrmv
+from repro.sim.counters import RunStats
+from repro.workloads import random_csr, random_dense_vector
+
+
+def make_job(nrows=64, ncols=256, npr=4, tile_rows=None, seed=1):
+    cl = SnitchCluster()
+    m = random_csr(nrows, ncols, nrows * npr, seed=seed)
+    x = random_dense_vector(ncols, seed=seed + 1)
+    return cl, ClusterCsrmv(cl, m, x, tile_rows=tile_rows), m, x
+
+
+class TestTilePlanning:
+    def test_tiles_cover_all_rows(self):
+        _, job, m, _ = make_job(nrows=100, tile_rows=17)
+        covered = []
+        for r0, r1 in job.tiles:
+            covered.extend(range(r0, r1))
+        assert covered == list(range(m.nrows))
+
+    def test_auto_tiles_fit_budget(self):
+        cl, job, m, x = make_job(nrows=512, npr=32)
+        half = (cl.tcdm.storage.size // 8 - len(x) - 64) // 2
+        for r0, r1 in job.tiles:
+            assert job._tile_words(r0, r1) <= half
+
+    def test_buffers_disjoint(self):
+        _, job, _, _ = make_job()
+        spans = []
+        for buf in job.buf:
+            for name in ("vals", "idcs", "ptr", "y"):
+                spans.append(buf[name])
+        assert len(set(spans)) == len(spans)
+
+    def test_single_tile_when_small(self):
+        _, job, _, _ = make_job(nrows=16, npr=2)
+        assert len(job.tiles) == 1
+
+
+class TestRowDistribution:
+    def test_shares_partition_tile(self):
+        cl, job, m, _ = make_job(nrows=64)
+        job._start_tile(0)
+        shares = job._assigned
+        assert shares[0][0] == job.tiles[0][0]
+        assert shares[-1][1] == job.tiles[0][1]
+        for (a0, a1), (b0, b1) in zip(shares, shares[1:]):
+            assert a1 == b0
+
+    def test_rows_less_than_workers(self):
+        cl, job, _, _ = make_job(nrows=3)
+        job._start_tile(0)
+        nonempty = [s for s in job._assigned if s[1] > s[0]]
+        assert len(nonempty) == 3
+
+
+class TestRunStats:
+    def test_utilization_zero_cycles(self):
+        assert RunStats().fpu_utilization == 0.0
+        assert RunStats().macs_per_cycle == 0.0
+
+    def test_nored_utilization(self):
+        s = RunStats(cycles=100)
+        s.fpu_mac_ops = 40
+        s.last_mac_cycle = 49
+        s.first_mac_cycle = 10
+        assert s.fpu_utilization_nored == pytest.approx(40 / 50)
+        assert s.fpu_utilization_stream == pytest.approx(1.0)
+
+    def test_nored_no_macs(self):
+        assert RunStats(cycles=10).fpu_utilization_nored == 0.0

@@ -1,0 +1,225 @@
+"""Unit tests for the Snitch integer core's execution and timing."""
+
+import pytest
+
+from repro.errors import DeadlockError, SimulationError
+from repro.isa import ProgramBuilder
+from repro.isa.isa import CSR_CYCLE, CSR_SSR
+from repro.sim import SingleCC
+
+
+def run_program(build, args=None, **kw):
+    sim = SingleCC(**kw)
+    b = ProgramBuilder()
+    build(b, sim)
+    stats, _ = sim.run(b.build(), args=args or {})
+    return sim, stats
+
+
+class TestAlu:
+    def test_arith(self):
+        def body(b, sim):
+            b.li("t0", 21)
+            b.li("t1", 2)
+            b.mul("t2", "t0", "t1")
+            b.addi("t2", "t2", -2)
+            b.sub("t3", "t2", "t1")   # 38
+            b.xor("t4", "t3", "t1")   # 36
+            b.or_("t4", "t4", "t1")
+            b.and_("t4", "t4", "t3")
+            b.sw("t4", "a0", 0)
+            b.halt()
+        sim, _ = run_program(body, {"a0": 0})
+        assert sim.storage.load(0, 4) == (38 ^ 2 | 2) & 38
+
+    def test_shifts(self):
+        def body(b, sim):
+            b.li("t0", -8)
+            b.srai("t1", "t0", 1)    # -4
+            b.li("t2", 8)
+            b.slli("t2", "t2", 4)    # 128
+            b.sd("t2", "a0", 0)
+            b.sd("t1", "a0", 8)
+            b.halt()
+        sim, _ = run_program(body, {"a0": 0})
+        assert sim.storage.load(0, 8) == 128
+        assert sim.storage.load(8, 8) == -4
+
+    def test_slt(self):
+        def body(b, sim):
+            b.li("t0", -1)
+            b.li("t1", 1)
+            b.slt("t2", "t0", "t1")
+            b.sltu("t3", "t0", "t1")  # unsigned: -1 is huge
+            b.sd("t2", "a0", 0)
+            b.sd("t3", "a0", 8)
+            b.halt()
+        sim, _ = run_program(body, {"a0": 0})
+        assert sim.storage.load(0, 8) == 1
+        assert sim.storage.load(8, 8) == 0
+
+    def test_x0_never_written(self):
+        def body(b, sim):
+            b.li("zero", 99)
+            b.addi("zero", "zero", 5)
+            b.sd("zero", "a0", 0)
+            b.halt()
+        sim, _ = run_program(body, {"a0": 0})
+        assert sim.storage.load(0, 8) == 0
+
+    def test_muldiv(self):
+        def body(b, sim):
+            b.li("t0", 100)
+            b.li("t1", 7)
+            b.div("t2", "t0", "t1")
+            b.rem("t3", "t0", "t1")
+            b.sd("t2", "a0", 0)
+            b.sd("t3", "a0", 8)
+            b.halt()
+        sim, _ = run_program(body, {"a0": 0})
+        assert sim.storage.load(0, 8) == 14
+        assert sim.storage.load(8, 8) == 2
+
+
+class TestLoadsStores:
+    def test_load_use_stall(self):
+        """A dependent instruction right after a load costs one stall."""
+        def dep(b, sim):
+            b.li("t1", 0)
+            b.lw("t0", "a0", 0)
+            b.addi("t0", "t0", 1)   # immediate use: 1 stall
+            b.halt()
+
+        def indep(b, sim):
+            b.li("t1", 0)
+            b.lw("t0", "a0", 0)
+            b.addi("t1", "t1", 1)   # independent: no stall
+            b.addi("t0", "t0", 1)
+            b.halt()
+
+        sim1, s1 = run_program(dep, {"a0": 0})
+        sim2, s2 = run_program(indep, {"a0": 0})
+        assert s2.retired == s1.retired + 1
+        assert s2.cycles == s1.cycles + 1 - 1  # one extra instr, one less stall
+
+    def test_subword_store_load(self):
+        def body(b, sim):
+            b.li("t0", 0xBEEF)
+            b.sh("t0", "a0", 2)
+            b.lhu("t1", "a0", 2)
+            b.lh("t2", "a0", 2)   # sign-extended
+            b.sd("t1", "a0", 8)
+            b.sd("t2", "a0", 16)
+            b.halt()
+        sim, _ = run_program(body, {"a0": 0})
+        assert sim.storage.load(8, 8) == 0xBEEF
+        assert sim.storage.load(16, 8) == 0xBEEF - 0x10000
+
+
+class TestControlFlow:
+    def test_loop_count(self):
+        def body(b, sim):
+            b.li("t0", 10)
+            b.li("t1", 0)
+            b.label("loop")
+            b.addi("t1", "t1", 3)
+            b.addi("t0", "t0", -1)
+            b.bnez("t0", "loop")
+            b.sd("t1", "a0", 0)
+            b.halt()
+        sim, stats = run_program(body, {"a0": 0})
+        assert sim.storage.load(0, 8) == 30
+        # 2 setup + 30 loop + 2 tail(ish): single-cycle taken branches
+        assert stats.cycles <= 40
+
+    def test_jal_jalr(self):
+        def body(b, sim):
+            b.jal("ra", "func")
+            b.sd("t0", "a0", 0)
+            b.halt()
+            b.label("func")
+            b.li("t0", 77)
+            b.jalr("zero", "ra", 0)
+        sim, _ = run_program(body, {"a0": 0})
+        assert sim.storage.load(0, 8) == 77
+
+    def test_branch_penalty_config(self):
+        def body(b, sim):
+            b.li("t0", 50)
+            b.label("loop")
+            b.addi("t0", "t0", -1)
+            b.bnez("t0", "loop")
+            b.halt()
+        _, fast = run_program(body)
+        _, slow = run_program(body, branch_penalty=2)
+        assert slow.cycles > fast.cycles + 80
+
+    def test_pc_off_end(self):
+        sim = SingleCC()
+        b = ProgramBuilder()
+        b.nop()  # no halt
+        with pytest.raises(SimulationError):
+            sim.run(b.build())
+
+
+class TestCsrAndFence:
+    def test_cycle_csr(self):
+        def body(b, sim):
+            b.csrr("t0", CSR_CYCLE)
+            b.nop()
+            b.nop()
+            b.csrr("t1", CSR_CYCLE)
+            b.sub("t2", "t1", "t0")
+            b.sd("t2", "a0", 0)
+            b.halt()
+        sim, _ = run_program(body, {"a0": 0})
+        assert sim.storage.load(0, 8) == 3
+
+    def test_ssr_csr_toggle(self):
+        def body(b, sim):
+            b.csrsi(CSR_SSR, 1)
+            b.csrr("t0", CSR_SSR)
+            b.csrci(CSR_SSR, 1)
+            b.csrr("t1", CSR_SSR)
+            b.sd("t0", "a0", 0)
+            b.sd("t1", "a0", 8)
+            b.halt()
+        sim, _ = run_program(body, {"a0": 0})
+        assert sim.storage.load(0, 8) == 1
+        assert sim.storage.load(8, 8) == 0
+
+    def test_unknown_csr_read(self):
+        sim = SingleCC()
+        b = ProgramBuilder()
+        b.csrr("t0", 0x123)
+        b.halt()
+        with pytest.raises(SimulationError):
+            sim.run(b.build())
+
+    def test_fence_fpu_waits(self):
+        def body(b, sim):
+            b.fld("ft3", "a0", 0)
+            b.fadd_d("ft4", "ft3", "ft3")
+            b.fsd("ft4", "a0", 8)
+            b.fence_fpu()
+            b.ld("t0", "a0", 8)   # after the fence the store is visible
+            b.sd("t0", "a0", 16)
+            b.halt()
+        sim = SingleCC()
+        base = sim.alloc_floats([2.5, 0.0, 0.0])
+        b = ProgramBuilder()
+        body(b, sim)
+        sim.run(b.build(), args={"a0": base})
+        assert sim.storage.load(base + 16, 8) == 5.0
+
+
+class TestWatchdog:
+    def test_deadlock_detection(self):
+        sim = SingleCC(watchdog=200)
+        b = ProgramBuilder()
+        # fmadd on a stream register with no job: stalls forever
+        b.csrsi(CSR_SSR, 1)
+        b.fmadd_d("ft2", "ft0", "ft1", "ft2")
+        b.halt()
+        with pytest.raises(DeadlockError):
+            sim.run(b.build())

@@ -1,0 +1,414 @@
+"""Unit tests for the paper's contribution: affine iterators, the index
+serializer, SSR/ISSR lanes, and the streamer configuration interface."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import AffineIterator, IndexSerializer, IssrLane, SsrLane, Streamer
+from repro.core import config as cfg
+from repro.errors import ConfigError
+from repro.mem.ideal import IdealMemory
+from repro.sim.engine import Engine
+from repro.utils.bits import pack_indices
+
+
+class TestAffineIterator:
+    def test_1d(self):
+        it = AffineIterator(0x100, [4], [8], dims=1)
+        addrs = [it.next_addr() for _ in range(4)]
+        assert addrs == [0x100, 0x108, 0x110, 0x118]
+        assert it.done
+
+    def test_2d_strides(self):
+        # inner: 3 elements stride 8; outer: 2 rows stride 0x100
+        it = AffineIterator(0, [3, 2], [8, 0x100], dims=2)
+        addrs = [it.next_addr() for _ in range(6)]
+        assert addrs == [0, 8, 16, 0x100, 0x108, 0x110]
+        assert it.done
+
+    def test_repeat(self):
+        it = AffineIterator(0, [2], [8], dims=1, repeat=3)
+        addrs = [it.next_addr() for _ in range(6)]
+        assert addrs == [0, 0, 0, 8, 8, 8]
+        assert it.done
+
+    def test_total(self):
+        assert AffineIterator(0, [3, 2], [8, 16], 2, repeat=2).total == 12
+
+    def test_4d(self):
+        it = AffineIterator(0, [2, 2, 2, 2], [1, 10, 100, 1000], dims=4)
+        addrs = [it.next_addr() for _ in range(16)]
+        assert addrs[0] == 0
+        assert addrs[1] == 1
+        assert addrs[2] == 10
+        assert addrs[-1] == 1111
+        assert it.done
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(1, 4), min_size=1, max_size=4),
+           st.lists(st.integers(-16, 64), min_size=4, max_size=4))
+    def test_count_property(self, bounds, strides):
+        dims = len(bounds)
+        bounds = bounds + [1] * (4 - dims)
+        it = AffineIterator(1000, bounds, [s * 8 for s in strides], dims)
+        count = 0
+        while not it.done:
+            it.next_addr()
+            count += 1
+        expect = 1
+        for b in bounds[:dims]:
+            expect *= b
+        assert count == expect
+
+
+class TestSerializer:
+    def test_32bit_sequence(self):
+        words = pack_indices([5, 9, 2], 32)
+        ser = IndexSerializer(idx_base=0, count=3, index_bits=32,
+                              data_base=0x1000)
+        out = []
+        for word in words:
+            ser.feed(word)
+            while ser.can_emit:
+                out.append(ser.next_address())
+        assert out == [0x1000 + 5 * 8, 0x1000 + 9 * 8, 0x1000 + 2 * 8]
+        assert ser.done
+
+    def test_16bit_four_per_word(self):
+        words = pack_indices([1, 2, 3, 4, 5], 16)
+        ser = IndexSerializer(0, 5, 16, 0)
+        out = []
+        for word in words:
+            ser.feed(word)
+            while ser.can_emit:
+                out.append(ser.next_address())
+        assert out == [8, 16, 24, 32, 40]
+
+    def test_arbitrary_alignment(self):
+        # index array starts mid-word: base = 4 bytes into the word
+        words = pack_indices([99, 7, 8], 32)  # 99 occupies slot 0
+        ser = IndexSerializer(idx_base=4, count=2, index_bits=32, data_base=0)
+        assert ser.first_word_addr == 0
+        assert ser.words_needed == 2
+        ser.feed(words[0])
+        assert ser.next_address() == 7 * 8  # slot 1 of word 0
+        ser.feed(words[1])
+        assert ser.next_address() == 8 * 8
+
+    def test_extra_shift(self):
+        words = pack_indices([3], 32)
+        ser = IndexSerializer(0, 1, 32, 0x100, extra_shift=2)
+        ser.feed(words[0])
+        assert ser.next_address() == 0x100 + (3 << 5)
+
+    def test_misaligned_base_rejected(self):
+        with pytest.raises(ConfigError):
+            IndexSerializer(idx_base=2, count=1, index_bits=32, data_base=0)
+
+    def test_bad_width(self):
+        with pytest.raises(ConfigError):
+            IndexSerializer(0, 1, 24, 0)
+
+    def test_feed_while_buffered(self):
+        ser = IndexSerializer(0, 4, 16, 0)
+        ser.feed(pack_indices([1, 2, 3, 4], 16)[0])
+        with pytest.raises(ConfigError):
+            ser.feed(0)
+
+    def test_float_word_rejected(self):
+        ser = IndexSerializer(0, 2, 32, 0)
+        with pytest.raises(ConfigError):
+            ser.feed(1.5)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(0, 0xFFFF), min_size=1, max_size=20),
+           st.sampled_from([16, 32]), st.integers(0, 3))
+    def test_serializer_matches_packing(self, idcs, bits, skip):
+        skip = min(skip, len(idcs) - 1)
+        idx_bytes = bits // 8
+        base = skip * idx_bytes
+        count = len(idcs) - skip
+        ser = IndexSerializer(base, count, bits, 0)
+        words = pack_indices(idcs, bits)
+        out = []
+        for word in words[ser.first_word_addr // 8:]:
+            if ser.done:
+                break
+            ser.feed(word)
+            while ser.can_emit:
+                out.append(ser.next_address() // 8)
+        assert out == idcs[skip:]
+
+
+def make_lane(kind, mem_words=512, fifo_depth=5):
+    eng = Engine()
+    mem = IdealMemory(eng, mem_words * 8)
+    port = mem.new_port("lane")
+    if kind == "ssr":
+        lane = SsrLane(eng, port, fifo_depth=fifo_depth)
+    else:
+        lane = IssrLane(eng, port, fifo_depth=fifo_depth)
+    eng.add(lane)
+    eng.add(mem)
+    return eng, mem, lane
+
+
+class TestSsrLane:
+    def test_affine_read_stream(self):
+        eng, mem, lane = make_lane("ssr")
+        mem.storage.write_floats(0, [float(i) for i in range(10)])
+        job = cfg.SsrJob(cfg.AFFINE_READ, 1, 0, [10, 1, 1, 1], [8, 0, 0, 0])
+        assert lane.enqueue(job)
+        got = []
+        for _ in range(40):
+            eng.step()
+            while lane.can_pop:
+                got.append(lane.pop())
+        assert got == [float(i) for i in range(10)]
+        assert not lane.busy
+
+    def test_write_stream(self):
+        eng, mem, lane = make_lane("ssr")
+        job = cfg.SsrJob(cfg.AFFINE_WRITE, 1, 0, [4, 1, 1, 1], [8, 0, 0, 0])
+        lane.enqueue(job)
+        for v in [1.0, 2.0, 3.0, 4.0]:
+            lane.push(v)
+        for _ in range(20):
+            eng.step()
+        assert mem.storage.read_floats(0, 4) == [1.0, 2.0, 3.0, 4.0]
+        assert lane.writes_drained
+
+    def test_backpressure_fifo_depth(self):
+        eng, mem, lane = make_lane("ssr", fifo_depth=3)
+        mem.storage.write_floats(0, [float(i) for i in range(16)])
+        job = cfg.SsrJob(cfg.AFFINE_READ, 1, 0, [16, 1, 1, 1], [8, 0, 0, 0])
+        lane.enqueue(job)
+        for _ in range(30):
+            eng.step()
+        # nothing popped: inflight + fifo must never exceed depth
+        assert len(lane.fifo) + lane.inflight <= 3
+
+    def test_job_queue_limit(self):
+        eng, mem, lane = make_lane("ssr")
+        mem.storage.write_floats(0, [0.0] * 8)
+        job = cfg.SsrJob(cfg.AFFINE_READ, 1, 0, [8, 1, 1, 1], [8, 0, 0, 0])
+        assert lane.enqueue(job)
+        assert lane.enqueue(job)      # one queued besides running
+        assert not lane.enqueue(job)  # queue full -> retry later
+
+    def test_indirect_rejected(self):
+        eng, mem, lane = make_lane("ssr")
+        job = cfg.SsrJob(cfg.INDIRECT_READ, 1, 0, [4, 1, 1, 1], [8, 0, 0, 0])
+        with pytest.raises(ConfigError):
+            lane.enqueue(job)
+
+    def test_back_to_back_jobs(self):
+        eng, mem, lane = make_lane("ssr")
+        mem.storage.write_floats(0, [float(i) for i in range(8)])
+        job1 = cfg.SsrJob(cfg.AFFINE_READ, 1, 0, [4, 1, 1, 1], [8, 0, 0, 0])
+        job2 = cfg.SsrJob(cfg.AFFINE_READ, 1, 32, [4, 1, 1, 1], [8, 0, 0, 0])
+        lane.enqueue(job1)
+        lane.enqueue(job2)
+        got = []
+        for _ in range(60):
+            eng.step()
+            while lane.can_pop:
+                got.append(lane.pop())
+        assert got == [0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]
+
+
+class TestIssrLane:
+    def _gather(self, idcs, data, bits, repeat=1, extra_shift=0, fifo_depth=5):
+        eng, mem, lane = make_lane("issr", fifo_depth=fifo_depth)
+        data_base = 0
+        mem.storage.write_floats(data_base, data)
+        idx_words = pack_indices(idcs, bits)
+        idx_base = 8 * ((len(data) + 7) // 8 * 8)
+        mem.storage.write_words(idx_base, idx_words)
+        shadow = cfg.ShadowConfig()
+        shadow.bounds[0] = len(idcs)
+        shadow.idx_cfg = cfg.idx_cfg_value(bits, extra_shift)
+        shadow.data_base = data_base
+        shadow.repeat = repeat
+        job = shadow.snapshot(cfg.INDIRECT_READ, 1, idx_base)
+        lane.enqueue(job)
+        got = []
+        for _ in range(40 + 6 * len(idcs) * repeat):
+            eng.step()
+            while lane.can_pop:
+                got.append(lane.pop())
+        assert not lane.busy
+        return got
+
+    def test_gather_32(self):
+        data = [float(i) * 1.5 for i in range(32)]
+        idcs = [5, 0, 31, 7, 7, 2]
+        assert self._gather(idcs, data, 32) == [data[i] for i in idcs]
+
+    def test_gather_16(self):
+        data = [float(i) for i in range(64)]
+        idcs = [63, 0, 1, 62, 30, 31, 2, 9, 4]
+        assert self._gather(idcs, data, 16) == [data[i] for i in idcs]
+
+    def test_repeat(self):
+        data = [1.0, 2.0, 3.0, 4.0]
+        got = self._gather([2, 0], data, 32, repeat=2)
+        assert got == [3.0, 3.0, 1.0, 1.0]
+
+    def test_scatter(self):
+        eng, mem, lane = make_lane("issr")
+        idx_base = 256
+        mem.storage.write_words(idx_base, pack_indices([3, 1, 0], 32))
+        shadow = cfg.ShadowConfig()
+        shadow.bounds[0] = 3
+        shadow.idx_cfg = cfg.idx_cfg_value(32)
+        shadow.data_base = 0
+        lane.enqueue(shadow.snapshot(cfg.INDIRECT_WRITE, 1, idx_base))
+        for v in (30.0, 10.0, 0.5):
+            lane.push(v)
+        for _ in range(40):
+            eng.step()
+        assert lane.writes_drained
+        assert mem.storage.load(3 * 8, 8) == 30.0
+        assert mem.storage.load(1 * 8, 8) == 10.0
+        assert mem.storage.load(0, 8) == 0.5
+
+    def test_affine_fallback(self):
+        """An ISSR lane still runs plain affine jobs (backward compat)."""
+        eng, mem, lane = make_lane("issr")
+        mem.storage.write_floats(0, [float(i) for i in range(6)])
+        job = cfg.SsrJob(cfg.AFFINE_READ, 1, 0, [6, 1, 1, 1], [8, 0, 0, 0])
+        lane.enqueue(job)
+        got = []
+        for _ in range(40):
+            eng.step()
+            while lane.can_pop:
+                got.append(lane.pop())
+        assert got == [float(i) for i in range(6)]
+
+    def test_steady_state_data_rate_32(self):
+        """Peak data-mover utilization 2/3 for 32-bit indices (Fig. 2 F)."""
+        data = [1.0] * 256
+        n = 240
+        eng, mem, lane = make_lane("issr")
+        mem.storage.write_floats(0, data)
+        idx_base = 8 * 256
+        mem.storage.write_words(idx_base, pack_indices(list(range(n)) , 32))
+        shadow = cfg.ShadowConfig()
+        shadow.bounds[0] = n
+        shadow.idx_cfg = cfg.idx_cfg_value(32)
+        lane.enqueue(shadow.snapshot(cfg.INDIRECT_READ, 1, idx_base))
+        popped = 0
+        cycles = 0
+        while popped < n:
+            eng.step()
+            cycles += 1
+            while lane.can_pop:
+                lane.pop()
+                popped += 1
+        rate = n / cycles
+        assert 0.60 <= rate <= 2 / 3 + 0.01
+
+    def test_steady_state_data_rate_16(self):
+        """Peak data-mover utilization 4/5 for 16-bit indices."""
+        n = 320
+        eng, mem, lane = make_lane("issr")
+        mem.storage.write_floats(0, [1.0] * 64)
+        idx_base = 8 * 64
+        mem.storage.write_words(idx_base, pack_indices([i % 64 for i in range(n)], 16))
+        shadow = cfg.ShadowConfig()
+        shadow.bounds[0] = n
+        shadow.idx_cfg = cfg.idx_cfg_value(16)
+        lane.enqueue(shadow.snapshot(cfg.INDIRECT_READ, 1, idx_base))
+        popped = 0
+        cycles = 0
+        while popped < n:
+            eng.step()
+            cycles += 1
+            while lane.can_pop:
+                lane.pop()
+                popped += 1
+        rate = n / cycles
+        assert 0.73 <= rate <= 0.8 + 0.01
+
+
+class TestStreamerConfig:
+    def _streamer(self):
+        eng = Engine()
+        mem = IdealMemory(eng, 4096)
+        ssr = SsrLane(eng, mem.new_port("p0"), lane_id=0)
+        issr = IssrLane(eng, mem.new_port("p1"), lane_id=1)
+        streamer = Streamer(eng, [ssr, issr])
+        eng.add(streamer)
+        eng.add(mem)
+        return eng, mem, streamer
+
+    def test_shadow_write_read(self):
+        _, _, s = self._streamer()
+        s.cfg_write(cfg.cfg_addr(0, cfg.REG_BOUND_0), 17)
+        assert s.cfg_read(cfg.cfg_addr(0, cfg.REG_BOUND_0)) == 17
+
+    def test_launch_snapshots_shadow(self):
+        eng, mem, s = self._streamer()
+        mem.storage.write_floats(0, [9.0, 8.0])
+        s.cfg_write(cfg.cfg_addr(0, cfg.REG_BOUND_0), 2)
+        s.cfg_write(cfg.cfg_addr(0, cfg.REG_STRIDE_0), 8)
+        assert s.cfg_write(cfg.cfg_addr(0, cfg.REG_RPTR_0), 0)
+        # changing shadow after launch must not affect the running job
+        s.cfg_write(cfg.cfg_addr(0, cfg.REG_BOUND_0), 99)
+        got = []
+        for _ in range(20):
+            eng.step()
+            while s.lanes[0].can_pop:
+                got.append(s.lanes[0].pop())
+        assert got == [9.0, 8.0]
+
+    def test_status_busy(self):
+        eng, mem, s = self._streamer()
+        assert s.cfg_read(cfg.cfg_addr(0, cfg.REG_STATUS)) == 0
+        s.cfg_write(cfg.cfg_addr(0, cfg.REG_BOUND_0), 4)
+        s.cfg_write(cfg.cfg_addr(0, cfg.REG_RPTR_0), 0)
+        assert s.cfg_read(cfg.cfg_addr(0, cfg.REG_STATUS)) == 1
+
+    def test_launch_backpressure(self):
+        _, _, s = self._streamer()
+        s.cfg_write(cfg.cfg_addr(0, cfg.REG_BOUND_0), 4)
+        assert s.cfg_write(cfg.cfg_addr(0, cfg.REG_RPTR_0), 0)
+        assert s.cfg_write(cfg.cfg_addr(0, cfg.REG_RPTR_0), 32)
+        assert not s.cfg_write(cfg.cfg_addr(0, cfg.REG_RPTR_0), 64)
+
+    def test_reg_map_disabled(self):
+        _, _, s = self._streamer()
+        s.enabled = False
+        assert s.lane_for_reg(0) is None
+        s.enabled = True
+        assert s.lane_for_reg(0) is s.lanes[0]
+        assert s.lane_for_reg(1) is s.lanes[1]
+        assert s.lane_for_reg(2) is None
+
+    def test_bad_lane(self):
+        _, _, s = self._streamer()
+        with pytest.raises(ConfigError):
+            s.cfg_write(cfg.cfg_addr(5, cfg.REG_BOUND_0), 1)
+
+    def test_bad_register(self):
+        _, _, s = self._streamer()
+        with pytest.raises(ConfigError):
+            s.cfg_write(cfg.cfg_addr(0, 31), 1)
+        with pytest.raises(ConfigError):
+            s.cfg_read(cfg.cfg_addr(0, 31))
+
+    def test_repeat_validation(self):
+        _, _, s = self._streamer()
+        with pytest.raises(ConfigError):
+            s.cfg_write(cfg.cfg_addr(0, cfg.REG_REPEAT), 0)
+
+    def test_idx_cfg_value(self):
+        assert cfg.idx_cfg_value(16) == 0
+        assert cfg.idx_cfg_value(32) == 1
+        assert cfg.idx_cfg_value(32, extra_shift=3) == 0x31
+        with pytest.raises(ConfigError):
+            cfg.idx_cfg_value(8)
+        with pytest.raises(ConfigError):
+            cfg.idx_cfg_value(32, extra_shift=40)

@@ -1,0 +1,66 @@
+"""Tests for the instruction tracer."""
+
+from repro.isa import ProgramBuilder
+from repro.sim import SingleCC
+from repro.sim.trace import CoreTracer
+
+
+def test_trace_records_retires():
+    sim = SingleCC()
+    tracer = CoreTracer(sim.cc.core)
+    b = ProgramBuilder()
+    b.li("t0", 3)
+    b.label("loop")
+    b.addi("t0", "t0", -1)
+    b.bnez("t0", "loop")
+    b.halt()
+    sim.run(b.build())
+    ops = [op for _c, _pc, op in tracer.entries]
+    assert ops.count("addi") == 3
+    assert ops.count("bne") == 3
+    assert ops[-1] == "halt"
+
+
+def test_trace_format_and_histogram():
+    sim = SingleCC()
+    tracer = CoreTracer(sim.cc.core)
+    b = ProgramBuilder()
+    b.li("t0", 1)
+    b.lw("t1", "a0", 0)
+    b.add("t1", "t1", "t1")  # load-use stall
+    b.halt()
+    sim.run(b.build(), args={"a0": 0})
+    text = tracer.format()
+    assert "stall" in text
+    assert tracer.op_histogram()["li"] == 1
+
+
+def test_cycles_per_iteration_base_loop():
+    """Cross-check the 9-cycle BASE SpVV loop via the tracer."""
+    from repro.kernels.spvv import build_spvv
+    from repro.workloads import random_dense_vector, random_sparse_vector
+
+    sim = SingleCC()
+    tracer = CoreTracer(sim.cc.core)
+    prog, _ = build_spvv("base", 32)
+    x = random_dense_vector(256, seed=1)
+    fiber = random_sparse_vector(256, 64, seed=2)
+    vals = sim.alloc_floats(fiber.values)
+    idcs = sim.alloc_indices(fiber.indices, 32)
+    xb = sim.alloc_floats(x)
+    res = sim.alloc_zeros(1)
+    sim.run(prog, args={"a0": vals, "a1": idcs, "a2": 64, "a3": xb, "a4": res})
+    loop_pc = prog.labels["loop"]
+    deltas = tracer.cycles_per_iteration(loop_pc)
+    assert deltas and all(d == 9 for d in deltas)
+
+
+def test_detach_stops_recording():
+    sim = SingleCC()
+    tracer = CoreTracer(sim.cc.core)
+    tracer.detach()
+    b = ProgramBuilder()
+    b.nop()
+    b.halt()
+    sim.run(b.build())
+    assert tracer.entries == []

@@ -1,0 +1,127 @@
+"""Unit tests for FIFOs, bit packing, and RNG helpers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FormatError, SimulationError
+from repro.utils import Fifo, make_rng, pack_indices, unpack_indices
+from repro.utils.bits import (
+    field_mask,
+    indices_per_word,
+    sign_extend,
+    unpack_index,
+)
+
+
+class TestFifo:
+    def test_push_pop_order(self):
+        f = Fifo(3)
+        f.push(1)
+        f.push(2)
+        assert f.pop() == 1
+        assert f.pop() == 2
+
+    def test_full_raises(self):
+        f = Fifo(1)
+        f.push(1)
+        assert not f.can_push()
+        with pytest.raises(SimulationError):
+            f.push(2)
+
+    def test_empty_raises(self):
+        f = Fifo(1)
+        assert not f.can_pop()
+        with pytest.raises(SimulationError):
+            f.pop()
+        with pytest.raises(SimulationError):
+            f.peek()
+
+    def test_peek_keeps(self):
+        f = Fifo(2)
+        f.push(7)
+        assert f.peek() == 7
+        assert len(f) == 1
+
+    def test_free_and_clear(self):
+        f = Fifo(4)
+        f.push(1)
+        assert f.free == 3
+        f.clear()
+        assert f.free == 4
+
+    def test_depth_validation(self):
+        with pytest.raises(SimulationError):
+            Fifo(0)
+
+    def test_can_push_multi(self):
+        f = Fifo(3)
+        f.push(1)
+        assert f.can_push(2)
+        assert not f.can_push(3)
+
+
+class TestBits:
+    def test_field_mask(self):
+        assert field_mask(16) == 0xFFFF
+        assert field_mask(32) == 0xFFFFFFFF
+
+    def test_indices_per_word(self):
+        assert indices_per_word(16) == 4
+        assert indices_per_word(32) == 2
+
+    def test_indices_per_word_invalid(self):
+        with pytest.raises(FormatError):
+            indices_per_word(8)
+
+    def test_pack_16(self):
+        words = pack_indices([1, 2, 3, 4, 5], 16)
+        assert len(words) == 2
+        assert unpack_index(words[0], 0, 16) == 1
+        assert unpack_index(words[0], 3, 16) == 4
+        assert unpack_index(words[1], 0, 16) == 5
+
+    def test_pack_32(self):
+        words = pack_indices([0x10000, 7], 32)
+        assert len(words) == 1
+        assert unpack_index(words[0], 0, 32) == 0x10000
+        assert unpack_index(words[0], 1, 32) == 7
+
+    def test_pack_overflow(self):
+        with pytest.raises(FormatError):
+            pack_indices([0x10000], 16)
+
+    def test_pack_negative(self):
+        with pytest.raises(FormatError):
+            pack_indices([-1], 32)
+
+    def test_sign_extend(self):
+        assert sign_extend(0xFFFF, 16) == -1
+        assert sign_extend(0x7FFF, 16) == 0x7FFF
+        assert sign_extend(0x80, 8) == -128
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(0, 0xFFFF), max_size=40),
+           st.sampled_from([16, 32]))
+    def test_pack_unpack_roundtrip(self, idcs, bits):
+        words = pack_indices(idcs, bits)
+        assert unpack_indices(words, len(idcs), bits) == idcs
+
+    def test_packed_word_is_python_int(self):
+        import numpy as np
+        words = pack_indices(np.array([2 ** 31 - 1, 5], dtype=np.int64), 32)
+        assert all(isinstance(w, int) for w in words)
+
+
+class TestRng:
+    def test_default_seed_reproducible(self):
+        a = make_rng().standard_normal(4)
+        b = make_rng().standard_normal(4)
+        assert list(a) == list(b)
+
+    def test_explicit_seed(self):
+        a = make_rng(7).integers(0, 100, 10)
+        b = make_rng(7).integers(0, 100, 10)
+        c = make_rng(8).integers(0, 100, 10)
+        assert list(a) == list(b)
+        assert list(a) != list(c)

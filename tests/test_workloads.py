@@ -1,0 +1,144 @@
+"""Unit tests for workload generators and the stand-in catalog."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError
+from repro.workloads import (
+    G7,
+    G11,
+    RAGUSA18,
+    MatrixSpec,
+    calibration_set,
+    get_spec,
+    load,
+    matrix_names,
+    paper_set,
+    random_csr,
+    random_dense_matrix,
+    random_dense_vector,
+    random_sparse_vector,
+)
+
+
+class TestSynthetic:
+    def test_dense_vector_normal(self):
+        v = random_dense_vector(10000, seed=1)
+        assert abs(v.mean()) < 0.1
+        assert abs(v.std() - 1.0) < 0.1
+
+    def test_dense_matrix_shape(self):
+        assert random_dense_matrix(3, 5, seed=1).shape == (3, 5)
+
+    def test_negative_dim(self):
+        with pytest.raises(FormatError):
+            random_dense_vector(-1)
+
+    def test_sparse_vector_properties(self):
+        f = random_sparse_vector(1000, 100, seed=2)
+        assert f.nnz == 100
+        assert f.dim == 1000
+        assert len(np.unique(f.indices)) == 100
+
+    def test_sparse_vector_too_dense(self):
+        with pytest.raises(FormatError):
+            random_sparse_vector(10, 11)
+
+    def test_sparse_vector_reproducible(self):
+        a = random_sparse_vector(100, 20, seed=3)
+        b = random_sparse_vector(100, 20, seed=3)
+        assert a == b
+
+    @pytest.mark.parametrize("dist", ["uniform", "powerlaw", "banded",
+                                      "block", "constant"])
+    def test_random_csr_nnz_exact(self, dist):
+        m = random_csr(40, 60, 300, distribution=dist, seed=4)
+        assert m.nnz == 300
+        assert m.shape == (40, 60)
+
+    def test_random_csr_constant_balance(self):
+        m = random_csr(10, 50, 100, distribution="constant", seed=5)
+        assert set(m.row_lengths()) == {10}
+
+    def test_random_csr_powerlaw_skew(self):
+        m = random_csr(100, 200, 1000, distribution="powerlaw", seed=6)
+        lengths = sorted(m.row_lengths())
+        assert lengths[-1] > 3 * max(lengths[0], 1) or lengths[0] == 0
+
+    def test_random_csr_banded_locality(self):
+        m = random_csr(64, 64, 256, distribution="banded", seed=7,
+                       bandwidth=8)
+        for r in range(m.nrows):
+            row = m.row(r)
+            # rows denser than the band legitimately spill outside it
+            if 0 < row.nnz <= 17:
+                assert np.all(np.abs(row.indices - r) <= 8)
+
+    def test_unknown_distribution(self):
+        with pytest.raises(FormatError):
+            random_csr(4, 4, 4, distribution="bogus")
+
+    def test_too_many_nonzeros(self):
+        with pytest.raises(FormatError):
+            random_csr(2, 2, 5)
+
+    def test_full_density(self):
+        m = random_csr(4, 4, 16, seed=8)
+        assert m.nnz == 16
+        assert np.all(m.row_lengths() == 4)
+
+
+class TestCatalog:
+    def test_named_anchors(self):
+        assert RAGUSA18.nnz == 64
+        assert RAGUSA18.nrows == 23
+        assert G11.name == "G11"
+        assert G7.nnz > G11.nnz
+
+    def test_paper_set_envelope(self):
+        for spec in paper_set():
+            assert 2000 <= spec.ncols <= 3200
+            assert 1300 <= spec.nnz <= 680320
+
+    def test_paper_set_sorted_by_density(self):
+        densities = [s.nnz_per_row for s in paper_set()]
+        assert densities == sorted(densities)
+
+    def test_generation_matches_spec(self):
+        spec = get_spec("west2021")
+        m = spec.generate()
+        assert m.shape == (spec.nrows, spec.ncols)
+        assert m.nnz == spec.nnz
+
+    def test_generation_reproducible(self):
+        a = load("add20", scale=0.1)
+        b = load("add20", scale=0.1)
+        assert a == b
+
+    def test_scaling_preserves_density(self):
+        spec = get_spec("bcsstk13")
+        m = spec.generate(scale=0.1)
+        assert m.nnz_per_row == pytest.approx(spec.nnz_per_row, rel=0.15)
+
+    def test_bad_scale(self):
+        with pytest.raises(FormatError):
+            RAGUSA18.generate(scale=0.0)
+        with pytest.raises(FormatError):
+            RAGUSA18.generate(scale=1.5)
+
+    def test_unknown_name(self):
+        with pytest.raises(FormatError):
+            get_spec("nonexistent")
+
+    def test_names_unique(self):
+        names = matrix_names()
+        assert len(names) == len(set(names))
+
+    def test_calibration_set(self):
+        cal = calibration_set()
+        assert [s.name for s in cal] == ["G11", "G7"]
+
+    def test_custom_spec(self):
+        spec = MatrixSpec("tiny", 4, 4, 8, "uniform", domain="test")
+        m = spec.generate(seed=1)
+        assert m.nnz == 8
