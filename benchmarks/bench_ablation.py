@@ -9,8 +9,6 @@ and reports its effect on SpVV/CsrMV performance:
 - TCDM bank count vs conflict-induced utilization loss.
 """
 
-import pytest
-
 from repro.eval.report import render_table
 from repro.kernels.csrmv import run_csrmv
 from repro.kernels.spvv import run_spvv
@@ -71,7 +69,7 @@ def test_fifo_depth_ablation(benchmark):
 
 def test_accumulator_count_ablation(benchmark):
     """Fewer staggered accumulators than FPU latency x rate stalls."""
-    from repro.kernels import common, spvv
+    from repro.kernels import common
 
     x = random_dense_vector(2048, seed=3)
     fiber = random_sparse_vector(2048, 2048, seed=4)
@@ -82,12 +80,12 @@ def test_accumulator_count_ablation(benchmark):
         try:
             for n_acc in (1, 2, 4, 8):
                 common.N_ACCUMULATORS[16] = n_acc
-                spvv._CACHE.clear()
+                common.PROGRAM_CACHE.clear()
                 stats, _ = run_spvv(fiber, x, "issr", 16)
                 rows.append([n_acc, stats.cycles, stats.fpu_utilization])
         finally:
             common.N_ACCUMULATORS.update(saved)
-            spvv._CACHE.clear()
+            common.PROGRAM_CACHE.clear()
         return rows
 
     rows = benchmark.pedantic(sweep, rounds=1, iterations=1)

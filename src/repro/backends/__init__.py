@@ -1,0 +1,50 @@
+"""Pluggable kernel-execution backends (see :mod:`repro.backends.base`).
+
+>>> from repro.backends import get_backend
+>>> backend = get_backend("fast")
+>>> stats, y = backend.csrmv(matrix, x, "issr", 16)   # doctest: +SKIP
+"""
+
+from repro.backends.base import Backend
+from repro.backends.cycle import CycleBackend
+from repro.backends.fast import FastBackend
+from repro.backends.model import CYCLE_SLACK, CYCLE_TOLERANCE
+from repro.errors import ConfigError
+
+#: Registered backend classes by name.
+BACKENDS = {
+    CycleBackend.name: CycleBackend,
+    FastBackend.name: FastBackend,
+}
+
+DEFAULT_BACKEND = CycleBackend.name
+
+
+def get_backend(spec=None):
+    """Resolve ``spec`` into a :class:`Backend` instance.
+
+    ``spec`` may be a backend name (``"cycle"``/``"fast"``), an
+    existing instance (returned unchanged), or None for the default.
+    """
+    if spec is None:
+        spec = DEFAULT_BACKEND
+    if isinstance(spec, Backend):
+        return spec
+    try:
+        return BACKENDS[spec]()
+    except KeyError:
+        raise ConfigError(
+            f"unknown backend {spec!r}; expected one of {sorted(BACKENDS)}"
+        ) from None
+
+
+__all__ = [
+    "BACKENDS",
+    "Backend",
+    "CYCLE_SLACK",
+    "CYCLE_TOLERANCE",
+    "CycleBackend",
+    "DEFAULT_BACKEND",
+    "FastBackend",
+    "get_backend",
+]

@@ -1,0 +1,50 @@
+"""The execution-backend interface.
+
+A backend decouples *what a kernel computes* from *how it is executed*.
+Every method takes the same operands as the corresponding
+``repro.kernels``/``repro.cluster`` entry point and returns the same
+``(stats, result)`` pair, where ``stats`` is a
+:class:`~repro.sim.counters.RunStats` (or
+:class:`~repro.cluster.runtime.ClusterStats`) and ``result`` the
+numerical output:
+
+- :class:`~repro.backends.cycle.CycleBackend` pushes every instruction
+  through the cycle-stepped engine — exact, slow;
+- :class:`~repro.backends.fast.FastBackend` executes functionally with
+  vectorized NumPy and predicts cycles with analytic models — fast,
+  bit-identical results, cycles within a documented tolerance.
+
+Experiments accept ``backend=`` (a name or an instance) and resolve it
+with :func:`repro.backends.get_backend`.
+"""
+
+
+class Backend:
+    """Abstract kernel-execution backend."""
+
+    #: Registry name; subclasses override.
+    name = "abstract"
+
+    def spvv(self, fiber, x, variant, index_bits=32, check=True):
+        """Sparse-dense dot product; returns (stats, float result)."""
+        raise NotImplementedError
+
+    def csrmv(self, matrix, x, variant, index_bits=32, check=True):
+        """CSR matrix-vector product; returns (stats, y)."""
+        raise NotImplementedError
+
+    def csrmm(self, matrix, dense, variant, index_bits=32, check=True):
+        """CSR matrix-matrix product; returns (stats, C)."""
+        raise NotImplementedError
+
+    def ttv(self, tensor, vector, index_bits=32, check=True):
+        """CSF tensor-times-vector; returns (stats, dense tensor)."""
+        raise NotImplementedError
+
+    def cluster_csrmv(self, matrix, x, variant="issr", index_bits=16,
+                      check=True, **kwargs):
+        """Multi-core double-buffered CsrMV; returns (stats, y)."""
+        raise NotImplementedError
+
+    def __repr__(self):
+        return f"<{type(self).__name__} {self.name!r}>"

@@ -1,0 +1,37 @@
+"""Cycle-accurate backend: the existing simulator entry points.
+
+Thin adapter over :mod:`repro.kernels` and
+:mod:`repro.cluster.runtime`; every call builds a fresh single-CC
+harness (or Snitch cluster) and runs the assembled kernel through the
+cycle-stepped engine.
+"""
+
+from repro.backends.base import Backend
+from repro.cluster.runtime import run_cluster_csrmv
+from repro.kernels.csrmm import run_csrmm
+from repro.kernels.csrmv import run_csrmv
+from repro.kernels.spvv import run_spvv
+from repro.kernels.ttv import run_ttv
+
+
+class CycleBackend(Backend):
+    """Execute kernels on the cycle-stepped simulation engine."""
+
+    name = "cycle"
+
+    def spvv(self, fiber, x, variant, index_bits=32, check=True):
+        return run_spvv(fiber, x, variant, index_bits, check=check)
+
+    def csrmv(self, matrix, x, variant, index_bits=32, check=True):
+        return run_csrmv(matrix, x, variant, index_bits, check=check)
+
+    def csrmm(self, matrix, dense, variant, index_bits=32, check=True):
+        return run_csrmm(matrix, dense, variant, index_bits, check=check)
+
+    def ttv(self, tensor, vector, index_bits=32, check=True):
+        return run_ttv(tensor, vector, index_bits, check=check)
+
+    def cluster_csrmv(self, matrix, x, variant="issr", index_bits=16,
+                      check=True, **kwargs):
+        return run_cluster_csrmv(matrix, x, variant, index_bits,
+                                 check=check, **kwargs)

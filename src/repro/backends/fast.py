@@ -1,0 +1,204 @@
+"""Fast functional backend: vectorized NumPy compute + analytic timing.
+
+Results are **bit-identical** to the cycle backend: the simulator's FPU
+evaluates ``fmadd.d`` as the Python expression ``a * b + c`` (two
+roundings), so replaying each kernel's exact accumulation order with
+IEEE-754 double operations reproduces its output to the last bit. The
+orders differ per variant:
+
+- BASE/SSR accumulate each row left to right from ``0.0``;
+- ISSR short rows start from the first product (``fmul``) and chain;
+- ISSR long rows initialize ``n_acc`` accumulators with the first
+  ``n_acc`` products, stagger the remaining products round-robin
+  (product ``n_acc + i`` lands on accumulator ``i % n_acc``), then
+  combine with the same balanced fadd tree the kernel emits.
+
+Rows are processed grouped by nonzero count, so the work is a small
+number of NumPy passes regardless of the matrix size.
+
+Cycle counts and performance counters come from
+:mod:`repro.backends.model`.
+"""
+
+import numpy as np
+
+from repro.backends.base import Backend
+from repro.backends.model import (
+    cluster_csrmv_stats,
+    csrmm_stats,
+    csrmv_stats,
+    spvv_stats,
+)
+from repro.errors import ConfigError, FormatError
+from repro.formats.csf import CsfTensor
+from repro.kernels.common import (
+    BASE,
+    ISSR,
+    N_ACCUMULATORS,
+    SSR,
+    check_index_bits,
+    check_variant,
+)
+from repro.kernels.ttv import _nonleaf_coords
+
+
+def _tree_reduce(acc):
+    """The kernel's balanced fadd tree over accumulator columns.
+
+    ``acc`` has shape (rows, n_acc); reduces into column 0 with the
+    exact pairing of ``emit_tree_reduction``.
+    """
+    count = acc.shape[1]
+    stride = 1
+    while stride < count:
+        for i in range(0, count, 2 * stride):
+            j = i + stride
+            if j < count:
+                acc[:, i] = acc[:, i] + acc[:, j]
+        stride *= 2
+    return acc[:, 0]
+
+
+def _chain_rows(products, starts, length, from_zero):
+    """Left-to-right accumulation of same-length rows (vectorized).
+
+    ``starts`` indexes each row's first product. ``from_zero`` matches
+    the BASE/SSR kernels (accumulator cleared, first op is a MAC);
+    otherwise the first product initializes the accumulator (``fmul``).
+    """
+    cols = starts[:, None] + np.arange(length)
+    p = products[cols]
+    acc = p[:, 0] + 0.0 if from_zero else p[:, 0].copy()
+    for j in range(1, length):
+        acc = p[:, j] + acc
+    return acc
+
+
+def _staggered_rows(products, starts, length, n_acc):
+    """The ISSR long-row order: unrolled init, staggered FREP, tree."""
+    cols = starts[:, None] + np.arange(length)
+    p = products[cols]
+    acc = p[:, :n_acc].copy()
+    for i in range(length - n_acc):
+        k = i % n_acc
+        acc[:, k] = p[:, n_acc + i] + acc[:, k]
+    return _tree_reduce(acc)
+
+
+def _accumulate_rows(products, ptr, variant, index_bits):
+    """Per-row reduction of ``products`` in the kernel's exact order."""
+    lengths = np.diff(ptr)
+    nrows = len(lengths)
+    y = np.zeros(nrows, dtype=np.float64)
+    if nrows == 0:
+        return y
+    starts_all = np.asarray(ptr[:-1], dtype=np.int64)
+    n_acc = N_ACCUMULATORS[index_bits] if variant == ISSR else 0
+    for length in np.unique(lengths):
+        length = int(length)
+        if length == 0:
+            continue
+        rows = np.nonzero(lengths == length)[0]
+        starts = starts_all[rows]
+        if variant in (BASE, SSR):
+            y[rows] = _chain_rows(products, starts, length, from_zero=True)
+        elif length < n_acc:
+            y[rows] = _chain_rows(products, starts, length, from_zero=False)
+        else:
+            y[rows] = _staggered_rows(products, starts, length, n_acc)
+    return y
+
+
+def _spvv_value(products, variant, index_bits):
+    """Whole-fiber reduction in the SpVV kernel's order."""
+    nnz = len(products)
+    if variant in (BASE, SSR):
+        acc = 0.0
+        for p in products:
+            acc = p + acc
+        return float(acc)
+    n_acc = N_ACCUMULATORS[index_bits]
+    acc = np.zeros((1, n_acc), dtype=np.float64)
+    # chunked round-robin: element i lands on accumulator i % n_acc
+    for c in range(0, nnz, n_acc):
+        chunk = products[c:c + n_acc]
+        acc[0, :len(chunk)] = chunk + acc[0, :len(chunk)]
+    return float(_tree_reduce(acc)[0])
+
+
+class FastBackend(Backend):
+    """Functional NumPy execution with analytic cycle prediction."""
+
+    name = "fast"
+
+    def spvv(self, fiber, x, variant, index_bits=32, check=True):
+        check_variant(variant)
+        check_index_bits(index_bits)
+        x = np.asarray(x, dtype=np.float64)
+        products = np.asarray(fiber.values, dtype=np.float64) \
+            * x[np.asarray(fiber.indices, dtype=np.int64)]
+        result = _spvv_value(products, variant, index_bits)
+        return spvv_stats(fiber.nnz, variant, index_bits), result
+
+    def csrmv(self, matrix, x, variant, index_bits=32, check=True):
+        check_variant(variant)
+        check_index_bits(index_bits)
+        x = np.asarray(x, dtype=np.float64)
+        products = matrix.vals * x[matrix.idcs]
+        y = _accumulate_rows(products, matrix.ptr, variant, index_bits)
+        stats = csrmv_stats(matrix.row_lengths(), variant, index_bits)
+        return stats, y
+
+    def csrmm(self, matrix, dense, variant, index_bits=32, check=True):
+        check_variant(variant)
+        check_index_bits(index_bits)
+        dense = np.asarray(dense, dtype=np.float64)
+        k = dense.shape[1]
+        if k & (k - 1):
+            raise ValueError(f"dense column count {k} must be a power of two")
+        gathered = dense[matrix.idcs]          # (nnz, k)
+        out = np.empty((matrix.nrows, k), dtype=np.float64)
+        for c in range(k):                     # kernel iterates columns outer
+            products = matrix.vals * gathered[:, c]
+            out[:, c] = _accumulate_rows(products, matrix.ptr, variant,
+                                         index_bits)
+        stats = csrmm_stats(matrix.row_lengths(), k, variant, index_bits)
+        return stats, out
+
+    def ttv(self, tensor, vector, index_bits=32, check=True):
+        if not isinstance(tensor, CsfTensor):
+            raise FormatError("ttv expects a CsfTensor")
+        vector = np.asarray(vector, dtype=np.float64)
+        if len(vector) < tensor.shape[-1]:
+            raise FormatError("vector shorter than the tensor's leaf mode")
+        leaf_ptr = np.asarray(tensor.ptrs[-1], dtype=np.int64)
+        products = np.asarray(tensor.vals, dtype=np.float64) \
+            * vector[np.asarray(tensor.idcs[-1], dtype=np.int64)]
+        fiber_results = _accumulate_rows(products, leaf_ptr, ISSR, index_bits)
+        out = np.zeros(tensor.shape[:-1], dtype=np.float64)
+        for node, coord in enumerate(_nonleaf_coords(tensor)):
+            out[coord] = fiber_results[node]
+        lengths = np.diff(leaf_ptr)
+        stats = csrmv_stats(lengths, ISSR, index_bits)
+        return stats, out
+
+    def cluster_csrmv(self, matrix, x, variant="issr", index_bits=16,
+                      check=True, cluster=None, max_cycles=None, **kwargs):
+        if kwargs:
+            raise ConfigError(
+                f"FastBackend.cluster_csrmv does not model {sorted(kwargs)}"
+            )
+        check_variant(variant)
+        check_index_bits(index_bits)
+        x = np.asarray(x, dtype=np.float64)
+        # Workers run the same single-CC kernel per row, so the result
+        # is identical to the single-CC functional path.
+        products = matrix.vals * x[matrix.idcs]
+        y = _accumulate_rows(products, matrix.ptr, variant, index_bits)
+        model_kwargs = {}
+        if cluster is not None:  # honor a custom cluster configuration
+            model_kwargs["n_workers"] = cluster.n_workers
+            model_kwargs["tcdm_words"] = cluster.tcdm.storage.size // 8
+        stats = cluster_csrmv_stats(matrix, variant, index_bits,
+                                    **model_kwargs)
+        return stats, y

@@ -1,0 +1,317 @@
+"""Analytic cycle and counter models for the fast backend.
+
+Every constant below is derived from the *structure* of the assembled
+kernels (see :mod:`repro.kernels`) and validated against the
+cycle-stepped simulator:
+
+- the BASE CsrMV/SpVV inner loop is nine instructions, single-issue,
+  stall-free -> 9 cycles per nonzero; the SSR variant drops the value
+  load and its pointer increment -> 7 cycles per nonzero;
+- the ISSR variants issue one FREP'd ``fmadd.d`` per nonzero through
+  the shared-port round-robin at the paper's 2/3 (32-bit) and 4/5
+  (16-bit) rates -> 1.5 and 1.25 cycles per streamed element;
+- the per-row CsrMV cost splits into the kernel's three cases (see
+  ``emit_issr_row_loop``): empty row (store only), short reduction
+  (chained MAC, 3 cycles per element behind the row overhead), and the
+  FREP case (unrolled ``fmul`` initialization, staggered FREP body,
+  tree reduction) whose latency floor dominates rows barely longer
+  than the accumulator count.
+
+Model error versus the cycle backend is bounded by the documented
+tolerances (:data:`CYCLE_TOLERANCE`): single-CC kernels track the
+simulator to a few cycles per row; the cluster model additionally
+approximates TCDM bank conflicts and DMA overlap.
+"""
+
+import numpy as np
+
+from repro.cluster.runtime import (
+    BARRIER_CYCLES,
+    WORKER_START_STAGGER,
+    ClusterStats,
+    plan_tiles,
+    tile_words,
+    worker_shares,
+)
+from repro.kernels.common import BASE, ISSR, N_ACCUMULATORS, SSR
+from repro.sim.counters import LaneStats, RunStats
+
+#: Documented cycle-prediction tolerances of the fast backend, as a
+#: relative fraction of the cycle backend's count (plus a small
+#: absolute slack for setup-dominated runs, :data:`CYCLE_SLACK`).
+CYCLE_TOLERANCE = {"single": 0.10, "cluster": 0.20}
+
+#: Absolute slack (cycles) allowed on top of the relative tolerance.
+CYCLE_SLACK = 32
+
+#: Steady-state issue cost per streamed element (cycles / element).
+ISSUE_RATE = {("base", 32): 9.0, ("base", 16): 9.0,
+              ("ssr", 32): 7.0, ("ssr", 16): 7.0,
+              ("issr", 32): 1.5, ("issr", 16): 1.25}
+
+#: Program setup/teardown cycles outside the row loop.
+_FIXED = {BASE: 7, SSR: 13, ISSR: 16}
+#: Extra cycles when stream jobs are actually launched (nnz > 0).
+_LAUNCH = {BASE: 0, SSR: 1, ISSR: 6}
+#: Cycles between the last MAC writeback and program completion.
+_MAC_TAIL = {("base", 32): 8, ("base", 16): 8,
+             ("ssr", 32): 8, ("ssr", 16): 8,
+             ("issr", 32): 15, ("issr", 16): 21}
+#: SpVV-specific constants (single fiber, no row loop).
+_SPVV_FIXED = {("base", 32): 8, ("base", 16): 8,
+               ("ssr", 32): 14, ("ssr", 16): 14,
+               ("issr", 32): 29, ("issr", 16): 37}
+#: Empty-fiber cost: setup + accumulator zeroing + reduction + store.
+_SPVV_EMPTY = {("base", 32): 4, ("base", 16): 4,
+               ("ssr", 32): 7, ("ssr", 16): 7,
+               ("issr", 32): 23, ("issr", 16): 33}
+_SPVV_TAIL = {("base", 32): 6, ("base", 16): 6,
+              ("ssr", 32): 6, ("ssr", 16): 6,
+              ("issr", 32): 14, ("issr", 16): 18}
+#: CsrMM column-loop constants: (program fixed, per-column overhead).
+_MM_OVERHEAD = {("base", 32): (9, 10), ("base", 16): (9, 10),
+                ("ssr", 32): (14, 12), ("ssr", 16): (14, 12),
+                ("issr", 32): (37, 6), ("issr", 16): (29, 10)}
+
+#: Fraction of ISSR element traffic lost to TCDM bank conflicts in the
+#: cluster, ramping with row density (the paper: peak utilization drops
+#: from 0.8 to ~0.71 under bank conflicts).
+_CONFLICT_MAX = 0.06
+_CONFLICT_RAMP_NPR = 32.0
+
+
+def row_cycles(lengths, variant, index_bits):
+    """Per-row cycle cost of the CsrMV row loop (vectorized).
+
+    ``lengths`` is an int array of per-row nonzero counts; returns an
+    int64 array of the same shape.
+    """
+    lengths = np.asarray(lengths, dtype=np.int64)
+    if variant == BASE:
+        return np.where(lengths == 0, 10, 12 + 9 * lengths)
+    if variant == SSR:
+        return np.where(lengths == 0, 10, 12 + 7 * lengths)
+    n_acc = N_ACCUMULATORS[index_bits]
+    if index_bits == 32:
+        # floor 21: fmul unroll + FREP drain + tree reduction latency
+        long_cost = np.maximum(
+            21, 12 + np.ceil(1.5 * (lengths - n_acc)).astype(np.int64))
+    else:
+        long_cost = np.maximum(
+            29, 21 + np.ceil(1.25 * (lengths - n_acc)).astype(np.int64))
+    short_cost = 11 + 3 * lengths
+    return np.where(lengths == 0, 9,
+                    np.where(lengths < n_acc, short_cost, long_cost))
+
+
+def _issr_row_classes(lengths, n_acc):
+    """(n_empty, n_short, n_long) row counts for the ISSR row loop."""
+    lengths = np.asarray(lengths, dtype=np.int64)
+    n_empty = int(np.count_nonzero(lengths == 0))
+    n_long = int(np.count_nonzero(lengths >= n_acc))
+    n_short = len(lengths) - n_empty - n_long
+    return n_empty, n_short, n_long
+
+
+def csrmv_cycles(lengths, variant, index_bits):
+    """Predicted single-CC CsrMV cycles for the given row structure."""
+    lengths = np.asarray(lengths, dtype=np.int64)
+    nnz = int(lengths.sum())
+    fixed = _FIXED[variant] + (_LAUNCH[variant] if nnz else 0)
+    return fixed + int(row_cycles(lengths, variant, index_bits).sum())
+
+
+def csrmv_stats(lengths, variant, index_bits):
+    """Predicted :class:`RunStats` for a single-CC CsrMV run."""
+    lengths = np.asarray(lengths, dtype=np.int64)
+    nrows = len(lengths)
+    nnz = int(lengths.sum())
+    idx_bytes = index_bits // 8
+    stats = RunStats(cycles=csrmv_cycles(lengths, variant, index_bits))
+
+    if variant in (BASE, SSR):
+        stats.fpu_mac_ops = nnz
+        stats.fpu_compute_ops = nnz
+        per_elem = 3 if variant == BASE else 2
+        stats.fpu_issued_ops = per_elem * nnz + 2 * nrows + 1
+        stats.retired = stats.cycles
+        stats.mem_reads = 3 * nnz + nrows + 1
+    else:
+        n_acc = N_ACCUMULATORS[index_bits]
+        n_empty, n_short, n_long = _issr_row_classes(lengths, n_acc)
+        # short rows: 1 fmul + (l-1) fmadd; long: n_acc fmul +
+        # (l - n_acc) FREP'd fmadd + (n_acc - 1) tree fadd
+        stats.fpu_mac_ops = nnz - n_short - n_acc * n_long
+        stats.fpu_compute_ops = nnz + (n_acc - 1) * n_long
+        stats.fpu_issued_ops = stats.fpu_compute_ops + nrows + 1
+        per_row_ret = 21 if index_bits == 32 else 29
+        stats.retired = min(
+            stats.cycles,
+            23 + per_row_ret * (n_short + n_long) + 9 * n_empty)
+        idx_reads = (nnz * idx_bytes + 7) // 8
+        stats.mem_reads = 2 * nnz + idx_reads + nrows + 1
+        stats.lanes["ssr"] = LaneStats(elements_read=nnz, mem_reads=nnz)
+        stats.lanes["issr"] = LaneStats(elements_read=nnz, mem_reads=nnz,
+                                        idx_reads=idx_reads)
+    if variant == SSR:
+        stats.lanes["ssr"] = LaneStats(elements_read=nnz, mem_reads=nnz)
+    stats.mem_writes = nrows
+    stats.first_mac_cycle = _FIXED[variant] + 10
+    stats.last_mac_cycle = max(stats.cycles - _MAC_TAIL[(variant, index_bits)], 0)
+    return stats
+
+
+def spvv_stats(nnz, variant, index_bits):
+    """Predicted :class:`RunStats` for a single-CC SpVV run."""
+    nnz = int(nnz)
+    idx_bytes = index_bits // 8
+    stats = RunStats()
+    if nnz == 0:
+        stats.cycles = _SPVV_EMPTY[(variant, index_bits)]
+        if variant == ISSR:  # the tree reduction runs even when empty
+            n_acc = N_ACCUMULATORS[index_bits]
+            stats.fpu_compute_ops = n_acc - 1
+            stats.fpu_issued_ops = 2 * n_acc
+            stats.retired = 17 if index_bits == 32 else 25
+        stats.mem_writes = 1
+        return stats
+    rate = ISSUE_RATE[(variant, index_bits)]
+    stats.cycles = _SPVV_FIXED[(variant, index_bits)] \
+        + int(np.ceil(rate * nnz))
+    stats.fpu_mac_ops = nnz
+    if variant in (BASE, SSR):
+        stats.fpu_compute_ops = nnz
+        per_elem = 3 if variant == BASE else 2
+        stats.fpu_issued_ops = per_elem * nnz + 2
+        stats.retired = stats.cycles - 2
+        stats.mem_reads = 3 * nnz
+        if variant == SSR:
+            stats.lanes["ssr"] = LaneStats(elements_read=nnz, mem_reads=nnz)
+    else:
+        n_acc = N_ACCUMULATORS[index_bits]
+        stats.fpu_compute_ops = nnz + n_acc - 1
+        stats.fpu_issued_ops = nnz + 2 * n_acc
+        stats.retired = 23 if index_bits == 32 else 31
+        idx_reads = (nnz * idx_bytes + 7) // 8
+        stats.mem_reads = 2 * nnz + idx_reads
+        stats.lanes["ssr"] = LaneStats(elements_read=nnz, mem_reads=nnz)
+        stats.lanes["issr"] = LaneStats(elements_read=nnz, mem_reads=nnz,
+                                        idx_reads=idx_reads)
+    stats.mem_writes = 1
+    stats.first_mac_cycle = {BASE: 11, SSR: 15}.get(
+        variant, 18 if index_bits == 32 else 22)
+    stats.last_mac_cycle = stats.cycles - _SPVV_TAIL[(variant, index_bits)]
+    return stats
+
+
+def csrmm_stats(lengths, k, variant, index_bits):
+    """Predicted :class:`RunStats` for a single-CC CsrMM run.
+
+    The kernel iterates the CsrMV row loop once per dense column, so
+    every per-column counter is the CsrMV counter scaled by ``k`` plus
+    the column-loop overhead.
+    """
+    per_col = csrmv_stats(lengths, variant, index_bits)
+    fixed, col_ovh = _MM_OVERHEAD[(variant, index_bits)]
+    col_body = per_col.cycles - _FIXED[variant] \
+        - (_LAUNCH[variant] if per_col.fpu_compute_ops else 0)
+    stats = RunStats(cycles=fixed + k * (col_ovh + col_body))
+    for attr in ("fpu_mac_ops", "fpu_compute_ops", "fpu_issued_ops",
+                 "mem_reads", "mem_writes"):
+        setattr(stats, attr, k * getattr(per_col, attr))
+    stats.retired = min(stats.cycles, k * per_col.retired)
+    for name, lane in per_col.lanes.items():
+        stats.lanes[name] = LaneStats(
+            elements_read=k * lane.elements_read,
+            mem_reads=k * lane.mem_reads,
+            idx_reads=k * lane.idx_reads,
+        )
+    stats.first_mac_cycle = per_col.first_mac_cycle
+    stats.last_mac_cycle = max(
+        stats.cycles - _MAC_TAIL[(variant, index_bits)], 0)
+    return stats
+
+
+def _conflict_factor(variant, nnz, nrows):
+    """Cycle inflation from TCDM bank conflicts in the cluster."""
+    if variant != ISSR or nrows == 0:
+        return 1.0
+    npr = nnz / nrows
+    return 1.0 + _CONFLICT_MAX * min(1.0, npr / _CONFLICT_RAMP_NPR)
+
+
+def _dma_cycles(words, n_transfers=1):
+    """Cycles for DMA transfers totalling ``words`` 64-bit words."""
+    return (words + 7) // 8 + 2 * n_transfers
+
+
+def cluster_csrmv_stats(matrix, variant, index_bits, n_workers=8,
+                        tcdm_words=256 * 1024 // 8, tile_rows=None):
+    """Predicted :class:`ClusterStats` for a cluster CsrMV run.
+
+    Follows the double-buffered schedule of
+    :class:`repro.cluster.runtime.ClusterCsrmv`: the initial ``x``
+    transfer and the first tile prefetch are exposed; afterwards each
+    tile costs ``max(compute, next prefetch)`` plus a barrier, with the
+    final writeback exposed at the end. Worker compute is the
+    single-CC model on the worker's row share, inflated by the bank-
+    conflict factor and the DMCC start stagger.
+    """
+    idx_bytes = index_bits // 8
+    lengths = matrix.row_lengths()
+    ptr = matrix.ptr
+    tiles = plan_tiles(ptr, matrix.nrows, idx_bytes, tcdm_words,
+                       matrix.ncols, tile_rows=tile_rows)
+    conflict = _conflict_factor(variant, matrix.nnz, matrix.nrows)
+
+    per_core = [RunStats() for _ in range(n_workers)]
+    compute_cycles = []
+    prefetch_cycles = []
+    dma_words = max(matrix.ncols, 1)  # the initial x transfer
+    for (r0, r1) in tiles:
+        # prefetched words = the tile's buffer footprint minus the
+        # y slots (which travel back as the writeback instead)
+        words = tile_words(ptr, r0, r1, idx_bytes) - (r1 - r0)
+        dma_words += words + (r1 - r0)  # prefetch + y writeback
+        prefetch_cycles.append(_dma_cycles(words, n_transfers=3))
+        worst = 0
+        for w, (w0, w1) in enumerate(worker_shares(r0, r1, n_workers)):
+            if w1 == w0:
+                continue
+            share = csrmv_stats(lengths[w0:w1], variant, index_bits)
+            for attr in ("retired", "fpu_compute_ops", "fpu_mac_ops",
+                         "fpu_issued_ops", "mem_reads", "mem_writes"):
+                setattr(per_core[w], attr,
+                        getattr(per_core[w], attr) + getattr(share, attr))
+            for name, lane in share.lanes.items():
+                agg = per_core[w].lanes.setdefault(name, LaneStats())
+                agg.elements_read += lane.elements_read
+                agg.mem_reads += lane.mem_reads
+                agg.idx_reads += lane.idx_reads
+            worst = max(worst, int(share.cycles * conflict)
+                        + WORKER_START_STAGGER * w)
+        compute_cycles.append(worst)
+
+    total = _dma_cycles(max(matrix.ncols, 1))  # x cannot be overlapped
+    if tiles:
+        total += prefetch_cycles[0]
+    for t in range(len(tiles)):
+        nxt = prefetch_cycles[t + 1] if t + 1 < len(tiles) else 0
+        total += max(compute_cycles[t], nxt) + BARRIER_CYCLES
+    if tiles:
+        r0, r1 = tiles[-1]
+        total += _dma_cycles(r1 - r0)
+
+    stats = ClusterStats(cycles=total)
+    for core in per_core:
+        core.cycles = total
+        stats.per_core.append(core)
+        for attr in ("retired", "fpu_compute_ops", "fpu_mac_ops",
+                     "fpu_issued_ops", "mem_reads", "mem_writes"):
+            setattr(stats, attr, getattr(stats, attr) + getattr(core, attr))
+    stats.dma_words = dma_words
+    stats.dma_busy_cycles = min(total, (dma_words + 7) // 8)
+    stats.tcdm_conflicts = int((conflict - 1.0) * sum(compute_cycles)
+                               * max(n_workers, 1))
+    stats.icache_misses = 8 * n_workers + 2 * max(len(tiles) - 1, 0)
+    return stats

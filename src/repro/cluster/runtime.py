@@ -38,6 +38,61 @@ BARRIER_CYCLES = 20
 WORKER_START_STAGGER = 2
 
 
+def tile_words(ptr, r0, r1, idx_bytes):
+    """TCDM words needed to hold rows [r0, r1) of a CSR matrix."""
+    nnz = int(ptr[r1] - ptr[r0])
+    vals_w = nnz
+    idcs_w = (nnz * idx_bytes + 15) // 8  # +1 word alignment slop
+    ptr_w = ((r1 - r0 + 1) * 4 + 15) // 8
+    y_w = r1 - r0
+    return vals_w + idcs_w + ptr_w + y_w
+
+
+def plan_tiles(ptr, nrows, idx_bytes, tcdm_words, x_words, tile_rows=None):
+    """Split rows into (r0, r1) tiles fitting half the buffer budget.
+
+    This is the pure planning core of the double-buffered runtime; the
+    fast backend reuses it so both backends agree on the tile schedule.
+    """
+    budget = tcdm_words - x_words - 64  # spare words for alignment
+    if budget <= 0:
+        raise ConfigError("dense vector does not fit in the TCDM")
+    half = budget // 2
+    if tile_rows is not None:
+        bounds = list(range(0, nrows, tile_rows)) + [nrows]
+        return [(bounds[i], bounds[i + 1]) for i in range(len(bounds) - 1)]
+    tiles = []
+    r0 = 0
+    while r0 < nrows:
+        r1 = r0
+        while r1 < nrows:
+            words = tile_words(ptr, r0, r1 + 1, idx_bytes)
+            if words > half and r1 > r0:
+                break
+            if words > half:
+                raise ConfigError(
+                    f"row {r0} alone exceeds the tile buffer "
+                    f"({words} > {half} words)"
+                )
+            r1 += 1
+        tiles.append((r0, r1))
+        r0 = r1
+    return tiles
+
+
+def worker_shares(r0, r1, n_workers):
+    """Contiguous block row distribution of tile rows among workers."""
+    rows = r1 - r0
+    shares = []
+    base, rem = divmod(rows, n_workers)
+    lo = r0
+    for w in range(n_workers):
+        cnt = base + (1 if w < rem else 0)
+        shares.append((lo, lo + cnt))
+        lo += cnt
+    return shares
+
+
 class ClusterStats(RunStats):
     """Aggregate run statistics plus per-core breakdown."""
 
@@ -94,32 +149,8 @@ class ClusterCsrmv:
         """Split rows into tiles fitting half the matrix buffer budget."""
         m = self.matrix
         tcdm_words = self.cluster.tcdm.storage.size // 8
-        x_words = len(self.x)
-        budget = tcdm_words - x_words - 64  # spare words for alignment
-        if budget <= 0:
-            raise ConfigError("dense vector does not fit in the TCDM")
-        half = budget // 2
-        if tile_rows is not None:
-            bounds = list(range(0, m.nrows, tile_rows)) + [m.nrows]
-            self.tiles = [(bounds[i], bounds[i + 1]) for i in range(len(bounds) - 1)]
-        else:
-            self.tiles = []
-            r0 = 0
-            while r0 < m.nrows:
-                r1 = r0
-                while r1 < m.nrows:
-                    words = self._tile_words(r0, r1 + 1)
-                    if words > half and r1 > r0:
-                        break
-                    if words > half:
-                        raise ConfigError(
-                            f"row {r0} alone exceeds the tile buffer "
-                            f"({words} > {half} words)"
-                        )
-                    r1 += 1
-                self.tiles.append((r0, r1))
-                r0 = r1
-        m = self.matrix
+        self.tiles = plan_tiles(m.ptr, m.nrows, self.idx_bytes, tcdm_words,
+                                len(self.x), tile_rows=tile_rows)
         self.tile_row_cap = max((b - a for a, b in self.tiles), default=1)
         max_nnz = max(
             (int(m.ptr[b] - m.ptr[a]) for a, b in self.tiles), default=1
@@ -127,15 +158,6 @@ class ClusterCsrmv:
         self.vals_cap = max(max_nnz, 1)
         self.idcs_cap = max((max_nnz * self.idx_bytes + 15) // 8, 1)
         self.ptr_cap = ((self.tile_row_cap + 1) * 4 + 15) // 8
-
-    def _tile_words(self, r0, r1):
-        m = self.matrix
-        nnz = int(m.ptr[r1] - m.ptr[r0])
-        vals_w = nnz
-        idcs_w = (nnz * self.idx_bytes + 15) // 8  # +1 word alignment slop
-        ptr_w = ((r1 - r0 + 1) * 4 + 15) // 8
-        y_w = r1 - r0
-        return vals_w + idcs_w + ptr_w + y_w
 
     def _alloc_tcdm(self):
         st = self.cluster.tcdm.storage
@@ -200,15 +222,7 @@ class ClusterCsrmv:
         pb0 = (self.mm_ptr + 4 * r0) & ~7
         vbase_ptr = buf["ptr"] - (pb0 - self.mm_ptr)
 
-        n_workers = self.cluster.n_workers
-        rows = r1 - r0
-        shares = []
-        base, rem = divmod(rows, n_workers)
-        lo = r0
-        for w in range(n_workers):
-            cnt = base + (1 if w < rem else 0)
-            shares.append((lo, lo + cnt))
-            lo += cnt
+        shares = worker_shares(r0, r1, self.cluster.n_workers)
         self._assigned = shares
         self._started = set()
         self._launched = set()

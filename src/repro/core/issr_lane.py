@@ -15,7 +15,7 @@ Extends the SSR lane with the paper's indirection mode (§II-A/B):
 Indirect *writes* turn the lane into a streaming scatter unit (§III-C).
 """
 
-from repro.core.config import INDIRECT_READ, INDIRECT_WRITE
+from repro.core.config import INDIRECT_WRITE
 from repro.core.lane import JOB_QUEUE_DEPTH, SsrLane
 from repro.core.serializer import IndexSerializer
 from repro.errors import SimulationError

@@ -2,19 +2,33 @@
 
 Usage::
 
-    python -m repro.eval            # run everything (quick mode)
-    python -m repro.eval E1 E5     # run selected experiments
-    python -m repro.eval --full    # full-fidelity workloads (slow)
+    python -m repro.eval                      # run everything (quick mode)
+    python -m repro.eval run E1 E5            # run selected experiments
+    python -m repro.eval run E2 --backend fast --parallel 8
+    python -m repro.eval --full               # full-fidelity workloads (slow)
+
+The leading ``run`` token is optional. ``--backend fast`` executes on
+the functional backend with analytic timing (see
+:mod:`repro.backends`); ``--parallel N`` fans experiment points out
+over N worker processes with on-disk result caching.
 """
 
 import argparse
 import sys
 import time
 
+from repro.backends import BACKENDS
 from repro.eval.experiments import EXPERIMENTS, run_all, run_experiment
+from repro.eval.parallel import ParallelRunner
 
 
 def main(argv=None):
+    if argv is None:
+        argv = sys.argv[1:]
+    argv = list(argv)
+    if argv and argv[0] == "run":  # optional subcommand form
+        argv = argv[1:]
+
     parser = argparse.ArgumentParser(
         prog="python -m repro.eval",
         description="Regenerate the ISSR paper's figures and claims.",
@@ -24,6 +38,15 @@ def main(argv=None):
                              "default: all")
     parser.add_argument("--full", action="store_true",
                         help="full-fidelity workloads (slow; default quick)")
+    parser.add_argument("--backend", choices=sorted(BACKENDS), default=None,
+                        help="execution backend (default: cycle)")
+    parser.add_argument("--parallel", type=int, default=None, metavar="N",
+                        help="fan experiment points over N processes")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the on-disk point-result cache")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="point-result cache directory "
+                             "(default: .repro-cache or $REPRO_CACHE_DIR)")
     args = parser.parse_args(argv)
 
     quick = not args.full
@@ -32,13 +55,28 @@ def main(argv=None):
     if unknown:
         parser.error(f"unknown experiment ids: {unknown}")
 
+    runner = None
+    if args.parallel is not None or args.no_cache or args.cache_dir:
+        runner = ParallelRunner(processes=args.parallel or 1,
+                                cache_dir=args.cache_dir,
+                                use_cache=not args.no_cache)
+
     t0 = time.time()
     if set(ids) == set(EXPERIMENTS):
-        results = run_all(quick=quick)
+        results = run_all(quick=quick, backend=args.backend, runner=runner)
+        times = {}
     else:
-        results = {eid: run_experiment(eid, quick=quick) for eid in ids}
+        results = {}
+        times = {}
+        for eid in ids:
+            te = time.time()
+            results[eid] = run_experiment(eid, quick=quick,
+                                          backend=args.backend, runner=runner)
+            times[eid] = time.time() - te
     for eid in ids:
         print(results[eid].render())
+        if eid in times:
+            print(f"  [{eid} in {times[eid]:.2f}s]")
         print()
     print(f"[{len(ids)} experiment(s) in {time.time() - t0:.1f}s]")
     return 0

@@ -10,10 +10,8 @@ against a 2-column dense matrix, where FPU utilization changes "by
 only 0.12%".
 """
 
+from repro.backends import get_backend
 from repro.eval.report import ExperimentResult
-from repro.kernels.csrmm import run_csrmm
-from repro.kernels.csrmv import run_csrmv
-from repro.kernels.spvv import run_spvv
 from repro.workloads import (
     RAGUSA18,
     random_csr,
@@ -23,8 +21,10 @@ from repro.workloads import (
 )
 
 
-def run_claims(nnz=4096, nrows=128, npr=256, ncols=2048, seed=1):
+def run_claims(nnz=4096, nrows=128, npr=256, ncols=2048, seed=1,
+               backend=None):
     """E8: peak utilizations / speedups at the large-nnz limit."""
+    backend = get_backend(backend)
     result = ExperimentResult(
         "E8", "Inline claims: peak utilizations and speedups",
         ["claim", "paper", "measured"],
@@ -33,7 +33,7 @@ def run_claims(nnz=4096, nrows=128, npr=256, ncols=2048, seed=1):
     fiber = random_sparse_vector(nnz, nnz, seed=seed)
     utils = {}
     for variant, bits in (("base", 32), ("ssr", 32), ("issr", 32), ("issr", 16)):
-        stats, _ = run_spvv(fiber, x, variant, bits)
+        stats, _ = backend.spvv(fiber, x, variant, bits)
         utils[(variant, bits)] = stats.fpu_utilization
     result.add_row("SpVV util BASE", 0.11, utils[("base", 32)])
     result.add_row("SpVV util SSR", 0.14, utils[("ssr", 32)])
@@ -44,7 +44,7 @@ def run_claims(nnz=4096, nrows=128, npr=256, ncols=2048, seed=1):
     matrix = random_csr(nrows, ncols, min(npr * nrows, nrows * ncols), seed=seed)
     cycles = {}
     for variant, bits in (("base", 32), ("ssr", 32), ("issr", 32), ("issr", 16)):
-        stats, _ = run_csrmv(matrix, xm, variant, bits)
+        stats, _ = backend.csrmv(matrix, xm, variant, bits)
         cycles[(variant, bits)] = stats.cycles
     speed16 = cycles[("base", 32)] / cycles[("issr", 16)]
     speed32 = cycles[("base", 32)] / cycles[("issr", 32)]
@@ -66,8 +66,10 @@ def run_claims(nnz=4096, nrows=128, npr=256, ncols=2048, seed=1):
     return result
 
 
-def run_csrmm_claim(seed=1, k=2, mid_npr=24, mid_rows=96, mid_cols=1024):
+def run_csrmm_claim(seed=1, k=2, mid_npr=24, mid_rows=96, mid_cols=1024,
+                    backend=None):
     """E10: CsrMM vs CsrMV on Ragusa18 and a mid-density matrix."""
+    backend = get_backend(backend)
     result = ExperimentResult(
         "E10", "CsrMM ~ CsrMV (incl. Ragusa18 edge case)",
         ["case", "kernel", "util CsrMV", "util CsrMM", "delta %"],
@@ -75,8 +77,8 @@ def run_csrmm_claim(seed=1, k=2, mid_npr=24, mid_rows=96, mid_cols=1024):
     rag = RAGUSA18.generate(seed=seed)
     x = random_dense_vector(rag.ncols, seed=seed)
     b = random_dense_matrix(rag.ncols, k, seed=seed)
-    mv, _ = run_csrmv(rag, x, "issr", 16)
-    mm, _ = run_csrmm(rag, b, "issr", 16)
+    mv, _ = backend.csrmv(rag, x, "issr", 16)
+    mm, _ = backend.csrmm(rag, b, "issr", 16)
     delta = abs(mm.fpu_utilization - mv.fpu_utilization) * 100
     result.add_row("Ragusa18 (64 nnz)", "issr16", mv.fpu_utilization,
                    mm.fpu_utilization, delta)
@@ -85,8 +87,8 @@ def run_csrmm_claim(seed=1, k=2, mid_npr=24, mid_rows=96, mid_cols=1024):
     xm = random_dense_vector(mid_cols, seed=seed)
     bm = random_dense_matrix(mid_cols, 4, seed=seed)
     for variant, bits in (("base", 32), ("issr", 16)):
-        s_mv, _ = run_csrmv(mid, xm, variant, bits)
-        s_mm, _ = run_csrmm(mid, bm, variant, bits)
+        s_mv, _ = backend.csrmv(mid, xm, variant, bits)
+        s_mm, _ = backend.csrmm(mid, bm, variant, bits)
         d = abs(s_mm.fpu_utilization - s_mv.fpu_utilization) * 100
         result.add_row(f"mid matrix ({mid_npr}/row)", f"{variant}{bits}",
                        s_mv.fpu_utilization, s_mm.fpu_utilization, d)

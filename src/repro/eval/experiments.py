@@ -3,6 +3,11 @@
 ``EXPERIMENTS`` maps experiment ids (see DESIGN.md §4) to callables
 returning :class:`~repro.eval.report.ExperimentResult`. ``run_all``
 executes the whole reproduction at a chosen fidelity.
+
+Kernel-running experiments accept a ``backend=`` selector ("cycle" or
+"fast", see :mod:`repro.backends`) and sweep-shaped ones additionally a
+``runner=`` (:class:`~repro.eval.parallel.ParallelRunner`) to fan
+their points out over worker processes with on-disk caching.
 """
 
 from repro.eval import claims, fig4a, fig4b, fig4c, fig4d, static_models
@@ -16,6 +21,11 @@ QUICK = {
     "E8": dict(nnz=2048, npr=128),
     "E10": dict(),
 }
+
+#: Experiments that execute kernels and honor ``backend=``.
+BACKEND_AWARE = frozenset({"E1", "E2", "E3", "E4", "E8", "E9", "E10"})
+#: Sweep-shaped experiments that honor ``runner=`` point fan-out.
+PARALLEL_AWARE = frozenset({"E1", "E2", "E3", "E4", "E9"})
 
 
 def _run_related_from_e3(e3_result=None, **kwargs):
@@ -41,20 +51,25 @@ EXPERIMENTS = {
 }
 
 
-def run_experiment(exp_id, quick=True, **overrides):
+def run_experiment(exp_id, quick=True, backend=None, runner=None, **overrides):
     """Run one experiment by id; quick mode shrinks the workloads."""
     fn = EXPERIMENTS[exp_id]
     kwargs = dict(QUICK.get(exp_id, {})) if quick else {}
     kwargs.update(overrides)
+    if backend is not None and exp_id in BACKEND_AWARE:
+        kwargs["backend"] = backend
+    if runner is not None and exp_id in PARALLEL_AWARE:
+        kwargs["runner"] = runner
     return fn(**kwargs)
 
 
-def run_all(quick=True):
+def run_all(quick=True, backend=None, runner=None):
     """Run every experiment; returns {exp_id: ExperimentResult}."""
     results = {}
     for exp_id in EXPERIMENTS:
         if exp_id == "E9":
             results[exp_id] = _run_related_from_e3(results.get("E3"))
         else:
-            results[exp_id] = run_experiment(exp_id, quick=quick)
+            results[exp_id] = run_experiment(exp_id, quick=quick,
+                                             backend=backend, runner=runner)
     return results

@@ -5,18 +5,50 @@ speedup of the SSR/ISSR kernels over the hand-optimized BASE kernel.
 The paper's theoretical limits: 9/7 = 1.29x (SSR), 6.0x (ISSR-32),
 7.2x (ISSR-16), with the 16-bit kernel overtaking the 32-bit one past
 nnz/row ~ 20.
+
+Each nnz/row value is one experiment *point* (see :func:`point`); the
+sweep can fan out over a :class:`~repro.eval.parallel.ParallelRunner`
+on any backend.
 """
 
+from repro.backends import get_backend
+from repro.eval.parallel import map_points
 from repro.eval.report import ExperimentResult
-from repro.kernels.csrmv import run_csrmv
 from repro.workloads import random_csr, random_dense_vector
 
 DEFAULT_NNZ_PER_ROW = (1, 2, 4, 8, 16, 24, 32, 48, 64, 128, 256)
 
+SERIES = (("ssr", "ssr", 32), ("issr32", "issr", 32), ("issr16", "issr", 16))
 
-def run(nnz_per_row=DEFAULT_NNZ_PER_ROW, nrows=128, ncols=2048, seed=1):
-    """Run the Fig. 4b sweep; returns an :class:`ExperimentResult`."""
+
+def point(params):
+    """Measure one nnz/row value; returns {"row": ..., "speeds": ...}."""
+    backend = get_backend(params["backend"])
+    npr, nrows, ncols, seed = (params["npr"], params["nrows"],
+                               params["ncols"], params["seed"])
+    nnz = min(npr * nrows, nrows * ncols)
+    matrix = random_csr(nrows, ncols, nnz, seed=seed + npr)
     x = random_dense_vector(ncols, seed=seed)
+    base, _ = backend.csrmv(matrix, x, "base", 32)
+    row = [npr]
+    speeds = {}
+    for label, variant, bits in SERIES:
+        stats, _ = backend.csrmv(matrix, x, variant, bits)
+        speeds[label] = base.cycles / stats.cycles
+        row.append(speeds[label])
+        if label == "issr16":
+            row.append(stats.fpu_utilization)
+    return {"row": row, "speeds": speeds}
+
+
+def run(nnz_per_row=DEFAULT_NNZ_PER_ROW, nrows=128, ncols=2048, seed=1,
+        backend=None, runner=None):
+    """Run the Fig. 4b sweep; returns an :class:`ExperimentResult`."""
+    backend_name = get_backend(backend).name
+    params = [{"npr": npr, "nrows": nrows, "ncols": ncols, "seed": seed,
+               "backend": backend_name} for npr in nnz_per_row]
+    outs = map_points(point, params, runner)
+
     result = ExperimentResult(
         "E2", "Fig. 4b: CC CsrMV speedup over BASE vs nnz/row",
         ["nnz/row", "ssr", "issr32", "issr16", "issr16 util"],
@@ -24,26 +56,15 @@ def run(nnz_per_row=DEFAULT_NNZ_PER_ROW, nrows=128, ncols=2048, seed=1):
     best = {"ssr": 0.0, "issr32": 0.0, "issr16": 0.0}
     crossover = None
     prev = None
-    for npr in nnz_per_row:
-        nnz = min(npr * nrows, nrows * ncols)
-        matrix = random_csr(nrows, ncols, nnz, seed=seed + npr)
-        base, _ = run_csrmv(matrix, x, "base", 32)
-        row = [npr]
-        speeds = {}
-        for label, variant, bits in (("ssr", "ssr", 32),
-                                     ("issr32", "issr", 32),
-                                     ("issr16", "issr", 16)):
-            stats, _ = run_csrmv(matrix, x, variant, bits)
-            speeds[label] = base.cycles / stats.cycles
-            best[label] = max(best[label], speeds[label])
-            row.append(speeds[label])
-            if label == "issr16":
-                row.append(stats.fpu_utilization)
-        result.add_row(*row)
+    for out in outs:
+        result.add_row(*out["row"])
+        speeds = out["speeds"]
+        for label, value in speeds.items():
+            best[label] = max(best[label], value)
         if (prev is not None and crossover is None
                 and prev["issr16"] <= prev["issr32"]
                 and speeds["issr16"] > speeds["issr32"]):
-            crossover = npr
+            crossover = out["row"][0]
         prev = speeds
     result.paper = {"ssr speedup": 1.29, "issr32 speedup": 6.0,
                     "issr16 speedup": 7.2, "16/32 crossover nnz/row": 20}
@@ -54,4 +75,6 @@ def run(nnz_per_row=DEFAULT_NNZ_PER_ROW, nrows=128, ncols=2048, seed=1):
         "16/32 crossover nnz/row": crossover if crossover is not None else -1,
     }
     result.notes.append("speedups approach the theoretical limits as nnz/row grows")
+    if backend_name != "cycle":
+        result.notes.append(f"executed on the {backend_name!r} backend")
     return result

@@ -5,9 +5,12 @@ power model: total energy per product (pJ per fmadd) for the BASE and
 ISSR-16 kernels, average cluster power, and the energy-efficiency
 gain (paper: 89 mW vs 194 mW average power; 142 -> 53 pJ per fmadd;
 up to 2.7x gain, anchored on the G11/G7 calibration matrices).
+
+Each matrix is one experiment *point* (see :func:`point`).
 """
 
-from repro.cluster.runtime import run_cluster_csrmv
+from repro.backends import get_backend
+from repro.eval.parallel import map_points
 from repro.eval.report import ExperimentResult
 from repro.perf.power import energy_gain, estimate_cluster_power
 from repro.workloads import calibration_set, paper_set, random_dense_vector
@@ -15,11 +18,37 @@ from repro.workloads import calibration_set, paper_set, random_dense_vector
 DEFAULT_SCALE = 0.05
 
 
-def run(specs=None, scale=DEFAULT_SCALE, seed=1, include_calibration=True):
+def point(params):
+    """Power/energy for one catalog matrix; returns a row dict."""
+    backend = get_backend(params["backend"])
+    spec, scale, seed = params["spec"], params["scale"], params["seed"]
+    matrix = spec.generate(seed=seed, scale=scale)
+    x = random_dense_vector(matrix.ncols, seed=seed)
+    issr, _ = backend.cluster_csrmv(matrix, x, "issr", 16)
+    base, _ = backend.cluster_csrmv(matrix, x, "base", 32)
+    p_issr = estimate_cluster_power(issr, n_products=matrix.nnz)
+    p_base = estimate_cluster_power(base, n_products=matrix.nnz)
+    gain = energy_gain(p_base, p_issr)
+    return {
+        "row": [spec.name, matrix.nnz_per_row, p_base.total_mw,
+                p_issr.total_mw, p_base.energy_per_mac_pj,
+                p_issr.energy_per_mac_pj, gain],
+        "gain": gain,
+        "base_mw": p_base.total_mw, "issr_mw": p_issr.total_mw,
+    }
+
+
+def run(specs=None, scale=DEFAULT_SCALE, seed=1, include_calibration=True,
+        backend=None, runner=None):
     """Run the Fig. 4d energy sweep; returns an :class:`ExperimentResult`."""
     if specs is None:
         specs = list(calibration_set()) if include_calibration else []
         specs += paper_set()
+    backend_name = get_backend(backend).name
+    params = [{"spec": spec, "scale": scale, "seed": seed,
+               "backend": backend_name} for spec in specs]
+    outs = map_points(point, params, runner)
+
     result = ExperimentResult(
         "E4", "Fig. 4d: cluster CsrMV energy per product",
         ["matrix", "nnz/row", "base mW", "issr mW",
@@ -27,20 +56,11 @@ def run(specs=None, scale=DEFAULT_SCALE, seed=1, include_calibration=True):
     )
     peak_gain = 0.0
     peak_power = {"base": 0.0, "issr": 0.0}
-    for spec in specs:
-        matrix = spec.generate(seed=seed, scale=scale)
-        x = random_dense_vector(matrix.ncols, seed=seed)
-        issr, _ = run_cluster_csrmv(matrix, x, "issr", 16)
-        base, _ = run_cluster_csrmv(matrix, x, "base", 32)
-        p_issr = estimate_cluster_power(issr, n_products=matrix.nnz)
-        p_base = estimate_cluster_power(base, n_products=matrix.nnz)
-        gain = energy_gain(p_base, p_issr)
-        peak_gain = max(peak_gain, gain)
-        peak_power["base"] = max(peak_power["base"], p_base.total_mw)
-        peak_power["issr"] = max(peak_power["issr"], p_issr.total_mw)
-        result.add_row(spec.name, matrix.nnz_per_row, p_base.total_mw,
-                       p_issr.total_mw, p_base.energy_per_mac_pj,
-                       p_issr.energy_per_mac_pj, gain)
+    for out in outs:
+        result.add_row(*out["row"])
+        peak_gain = max(peak_gain, out["gain"])
+        peak_power["base"] = max(peak_power["base"], out["base_mw"])
+        peak_power["issr"] = max(peak_power["issr"], out["issr_mw"])
     result.paper = {"base peak mW": 89, "issr peak mW": 194,
                     "base pJ/mac": 142, "issr pJ/mac": 53,
                     "peak energy gain": 2.7}
@@ -55,4 +75,6 @@ def run(specs=None, scale=DEFAULT_SCALE, seed=1, include_calibration=True):
     }
     if scale != 1.0:
         result.notes.append(f"matrices scaled by {scale} preserving nnz/row")
+    if backend_name != "cycle":
+        result.notes.append(f"executed on the {backend_name!r} backend")
     return result

@@ -1,0 +1,160 @@
+"""Parallel experiment-point execution with on-disk result caching.
+
+The fig4* drivers decompose their sweeps into *points* — picklable
+parameter dicts mapped through a module-level point function. A
+:class:`ParallelRunner` fans those points out over a
+``multiprocessing`` pool and memoizes each result on disk, keyed by
+(point function, parameters, backend, code version via git-describe),
+so re-running an experiment after an interruption — or sharing a sweep
+between the CLI and the benchmarks — only computes missing points.
+
+Kernel programs are rebuilt inside each worker process (the shared
+:class:`~repro.kernels.common.ProgramCache` is per-process); nothing
+built crosses a process boundary.
+"""
+
+import hashlib
+import multiprocessing
+import os
+import pickle
+import subprocess
+
+#: Default cache directory (overridable via the environment).
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+_code_version = None
+
+
+def code_version():
+    """The repo's ``git describe`` (cached); part of every cache key.
+
+    Falls back to ``REPRO_VERSION`` or ``"unknown"`` outside a git
+    checkout, so caching still works for installed copies (at the cost
+    of manual invalidation).
+    """
+    global _code_version
+    if _code_version is None:
+        cwd = os.path.dirname(os.path.abspath(__file__))
+        try:
+            out = subprocess.run(
+                ["git", "describe", "--always", "--dirty"],
+                capture_output=True, text=True, timeout=10, cwd=cwd,
+            )
+            _code_version = out.stdout.strip() if out.returncode == 0 else ""
+            if _code_version.endswith("-dirty"):
+                # a dirty tree keeps the same describe string across
+                # edits; key on the uncommitted diff content as well
+                diff = subprocess.run(
+                    ["git", "diff", "HEAD"],
+                    capture_output=True, timeout=30, cwd=cwd,
+                )
+                _code_version += "-" + hashlib.sha256(
+                    diff.stdout).hexdigest()[:12]
+        except (OSError, subprocess.SubprocessError):
+            _code_version = ""
+        if not _code_version:
+            _code_version = os.environ.get("REPRO_VERSION", "unknown")
+    return _code_version
+
+
+def map_points(fn, params, runner=None):
+    """Run ``fn`` over point-parameter dicts, serially or via a runner.
+
+    The shared dispatch used by every fig4* driver: ``runner=None``
+    computes inline; otherwise the points fan out (and cache) through
+    :meth:`ParallelRunner.map`.
+    """
+    if runner is not None:
+        return runner.map(fn, params)
+    return [fn(p) for p in params]
+
+
+def point_key(fn, params):
+    """Stable cache key for one (point function, params) pair."""
+    ident = (
+        f"{fn.__module__}.{fn.__qualname__}\n"
+        f"{sorted(params.items())!r}\n"
+        f"{code_version()}"
+    )
+    return hashlib.sha256(ident.encode()).hexdigest()
+
+
+class ParallelRunner:
+    """Map point functions over parameter dicts, in parallel, cached.
+
+    ``processes`` bounds the worker pool (1 runs inline, no pool);
+    ``use_cache=False`` disables the on-disk memo entirely.
+    """
+
+    def __init__(self, processes=None, cache_dir=None, use_cache=True,
+                 mp_context=None):
+        self.processes = processes or os.cpu_count() or 1
+        if cache_dir is None:
+            cache_dir = os.environ.get(CACHE_DIR_ENV, DEFAULT_CACHE_DIR)
+        self.cache_dir = cache_dir
+        self.use_cache = use_cache
+        self._mp_context = mp_context
+
+    # -- cache ---------------------------------------------------------------
+
+    def _cache_path(self, key):
+        return os.path.join(self.cache_dir, key[:2], key + ".pkl")
+
+    def _load(self, key):
+        if not self.use_cache:
+            return None
+        try:
+            with open(self._cache_path(key), "rb") as fh:
+                return pickle.load(fh)
+        except (OSError, pickle.PickleError, EOFError):
+            return None
+
+    def _store(self, key, result):
+        if not self.use_cache:
+            return
+        path = self._cache_path(key)
+        try:
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            tmp = f"{path}.tmp.{os.getpid()}"
+            with open(tmp, "wb") as fh:
+                pickle.dump(result, fh)
+            os.replace(tmp, path)
+        except OSError:
+            pass  # caching is best-effort; never fail the experiment
+
+    # -- execution -----------------------------------------------------------
+
+    def map(self, fn, param_list):
+        """Run ``fn(params)`` for every dict in ``param_list``.
+
+        Returns results in input order. Cached points are loaded from
+        disk; the misses are distributed over the process pool.
+        """
+        param_list = list(param_list)
+        keys = [point_key(fn, p) for p in param_list]
+        results = [None] * len(param_list)
+        misses = []
+        for i, key in enumerate(keys):
+            hit = self._load(key)
+            if hit is not None:
+                results[i] = hit["result"]
+            else:
+                misses.append(i)
+
+        if misses:
+            work = [param_list[i] for i in misses]
+            if self.processes > 1 and len(work) > 1:
+                ctx = multiprocessing.get_context(self._mp_context)
+                with ctx.Pool(min(self.processes, len(work))) as pool:
+                    outs = pool.map(fn, work)
+            else:
+                outs = [fn(p) for p in work]
+            for i, out in zip(misses, outs):
+                results[i] = out
+                self._store(keys[i], {"params": param_list[i], "result": out})
+        return results
+
+    def __repr__(self):
+        return (f"ParallelRunner(processes={self.processes}, "
+                f"cache_dir={self.cache_dir!r}, use_cache={self.use_cache})")

@@ -12,7 +12,6 @@ from repro.errors import FormatError
 from repro.formats.csc import CscMatrix
 from repro.formats.csf import CsfTensor
 from repro.formats.csr import CsrMatrix
-from repro.formats.fiber import SparseFiber
 
 
 def csr_to_csc(matrix):

@@ -24,6 +24,7 @@ from repro.isa.program import ProgramBuilder
 from repro.kernels.common import (
     ACC_BASE,
     N_ACCUMULATORS,
+    PROGRAM_CACHE,
     STAGGER_RD_RS3,
     check_index_bits,
     emit_tree_reduction,
@@ -31,8 +32,6 @@ from repro.kernels.common import (
 )
 from repro.kernels.gather import run_gather
 from repro.sim.harness import SingleCC
-
-_CACHE = {}
 
 
 def compress(values, max_codebook=None):
@@ -110,10 +109,8 @@ def run_codebook_dot(dense, codebook, codes, index_bits=16, sim=None,
     if len(dense) != len(codes):
         raise FormatError("dense operand and code stream length mismatch")
     n_acc = N_ACCUMULATORS[index_bits]
-    key = ("dot", index_bits)
-    if key not in _CACHE:
-        _CACHE[key] = _build_dot(index_bits, n_acc)
-    program = _CACHE[key]
+    program = PROGRAM_CACHE.get_or_build(
+        ("codebook_dot", index_bits), lambda: _build_dot(index_bits, n_acc))
     if sim is None:
         sim = SingleCC()
     dbase = sim.alloc_floats(dense, name="dense")

@@ -20,8 +20,11 @@ at the 4/5 issue rate the FMA latency needs more in-flight partial
 sums than at 2/3.
 """
 
+import os
+from collections import OrderedDict
+
 from repro.errors import ConfigError
-from repro.isa.isa import CSR_SSR  # re-exported for kernel modules
+from repro.isa.isa import CSR_SSR  # noqa: F401  (re-exported for kernel modules)
 
 #: Kernel variants evaluated in the paper (§III-B).
 BASE = "base"
@@ -37,6 +40,72 @@ ACC_BASE = 2
 
 #: FREP stagger mask for `fmadd.d acc, ft0, ft1, acc`: rd and rs3.
 STAGGER_RD_RS3 = 0b1001
+
+
+class ProgramCache:
+    """A bounded, per-process LRU cache for built kernel programs.
+
+    Built :class:`~repro.isa.program.Program` objects are cheap to
+    rebuild but must never cross process boundaries (the multiprocessing
+    experiment runner forks/spawns workers, and a program carries no
+    useful state worth shipping). The cache therefore:
+
+    - bounds its size with least-recently-used eviction, and
+    - tags entries with the owning process id, transparently starting
+      empty in any process other than the one that filled it (a forked
+      child re-builds on first use instead of sharing parent objects).
+
+    Pickling the cache never pickles its entries — only the bound.
+    """
+
+    def __init__(self, maxsize=64):
+        if maxsize <= 0:
+            raise ConfigError(f"ProgramCache maxsize must be positive, got {maxsize}")
+        self.maxsize = maxsize
+        self._entries = OrderedDict()
+        self._pid = os.getpid()
+
+    def _check_process(self):
+        pid = os.getpid()
+        if pid != self._pid:
+            self._entries.clear()
+            self._pid = pid
+
+    def get_or_build(self, key, build):
+        """Return the cached value for ``key``, building it if absent."""
+        self._check_process()
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            return self._entries[key]
+        value = build()
+        self._entries[key] = value
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+        return value
+
+    def clear(self):
+        self._entries.clear()
+
+    def __len__(self):
+        self._check_process()
+        return len(self._entries)
+
+    def __contains__(self, key):
+        self._check_process()
+        return key in self._entries
+
+    def __getstate__(self):
+        return {"maxsize": self.maxsize}
+
+    def __setstate__(self, state):
+        self.maxsize = state["maxsize"]
+        self._entries = OrderedDict()
+        self._pid = os.getpid()
+
+
+#: The shared program cache for all kernel modules; keys are
+#: (kernel name, variant, index_bits) tuples.
+PROGRAM_CACHE = ProgramCache(maxsize=64)
 
 
 def check_variant(variant):

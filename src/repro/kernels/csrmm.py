@@ -22,6 +22,7 @@ from repro.kernels.common import (
     BASE,
     ISSR,
     N_ACCUMULATORS,
+    PROGRAM_CACHE,
     SSR,
     KernelMeta,
     check_index_bits,
@@ -30,27 +31,24 @@ from repro.kernels.common import (
 from repro.kernels.csrmv import _idx_load, emit_issr_row_loop, place_csr
 from repro.sim.harness import SingleCC
 
-_CACHE = {}
-
 
 def build_csrmm(variant, index_bits=32):
     """Build (and cache) the CsrMM program for a variant/index width."""
     check_variant(variant)
     check_index_bits(index_bits)
-    key = (variant, index_bits)
-    if key not in _CACHE:
+
+    def build():
         if variant == BASE:
-            program = _build_dense_loop(index_bits, use_ssr=False)
-            meta = KernelMeta("csrmm", BASE, index_bits)
-        elif variant == SSR:
-            program = _build_dense_loop(index_bits, use_ssr=True)
-            meta = KernelMeta("csrmm", SSR, index_bits)
-        else:
-            n_acc = N_ACCUMULATORS[index_bits]
-            program = _build_issr(index_bits, n_acc)
-            meta = KernelMeta("csrmm", ISSR, index_bits, n_acc)
-        _CACHE[key] = (program, meta)
-    return _CACHE[key]
+            return (_build_dense_loop(index_bits, use_ssr=False),
+                    KernelMeta("csrmm", BASE, index_bits))
+        if variant == SSR:
+            return (_build_dense_loop(index_bits, use_ssr=True),
+                    KernelMeta("csrmm", SSR, index_bits))
+        n_acc = N_ACCUMULATORS[index_bits]
+        return (_build_issr(index_bits, n_acc),
+                KernelMeta("csrmm", ISSR, index_bits, n_acc))
+
+    return PROGRAM_CACHE.get_or_build(("csrmm", variant, index_bits), build)
 
 
 def _build_dense_loop(index_bits, use_ssr):

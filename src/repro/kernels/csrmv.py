@@ -28,6 +28,7 @@ from repro.kernels.common import (
     BASE,
     ISSR,
     N_ACCUMULATORS,
+    PROGRAM_CACHE,
     SSR,
     STAGGER_RD_RS3,
     KernelMeta,
@@ -37,27 +38,22 @@ from repro.kernels.common import (
 )
 from repro.sim.harness import SingleCC
 
-_CACHE = {}
-
 
 def build_csrmv(variant, index_bits=32):
     """Build (and cache) the CsrMV program for a variant/index width."""
     check_variant(variant)
     check_index_bits(index_bits)
-    key = (variant, index_bits)
-    if key not in _CACHE:
+
+    def build():
         if variant == BASE:
-            program = _build_base(index_bits)
-            meta = KernelMeta("csrmv", BASE, index_bits)
-        elif variant == SSR:
-            program = _build_ssr(index_bits)
-            meta = KernelMeta("csrmv", SSR, index_bits)
-        else:
-            n_acc = N_ACCUMULATORS[index_bits]
-            program = _build_issr(index_bits, n_acc)
-            meta = KernelMeta("csrmv", ISSR, index_bits, n_acc)
-        _CACHE[key] = (program, meta)
-    return _CACHE[key]
+            return _build_base(index_bits), KernelMeta("csrmv", BASE, index_bits)
+        if variant == SSR:
+            return _build_ssr(index_bits), KernelMeta("csrmv", SSR, index_bits)
+        n_acc = N_ACCUMULATORS[index_bits]
+        return (_build_issr(index_bits, n_acc),
+                KernelMeta("csrmv", ISSR, index_bits, n_acc))
+
+    return PROGRAM_CACHE.get_or_build(("csrmv", variant, index_bits), build)
 
 
 def _idx_load(builder, rd, base, index_bits):

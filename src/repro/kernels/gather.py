@@ -22,10 +22,8 @@ from repro.core import config as cfg
 from repro.errors import FormatError
 from repro.isa.isa import CSR_SSR
 from repro.isa.program import ProgramBuilder
-from repro.kernels.common import check_index_bits
+from repro.kernels.common import PROGRAM_CACHE, check_index_bits
 from repro.sim.harness import SingleCC
-
-_CACHE = {}
 
 
 def _build_move_kernel(name, read_indirect, index_bits):
@@ -66,10 +64,10 @@ def _build_move_kernel(name, read_indirect, index_bits):
 
 def _move_kernel(name, read_indirect, index_bits):
     check_index_bits(index_bits)
-    key = (name, index_bits)
-    if key not in _CACHE:
-        _CACHE[key] = _build_move_kernel(name, read_indirect, index_bits)
-    return _CACHE[key]
+    return PROGRAM_CACHE.get_or_build(
+        (name, index_bits),
+        lambda: _build_move_kernel(name, read_indirect, index_bits),
+    )
 
 
 def run_gather(x, indices, index_bits=32, sim=None, check=True):

@@ -18,10 +18,8 @@ from repro.core import config as cfg
 from repro.errors import FormatError
 from repro.isa.isa import CSR_SSR
 from repro.isa.program import ProgramBuilder
-from repro.kernels.common import check_index_bits
+from repro.kernels.common import PROGRAM_CACHE, check_index_bits
 from repro.sim.harness import SingleCC
-
-_CACHE = {}
 
 
 def _build(index_bits):
@@ -72,10 +70,8 @@ def run_stencil(signal, taps, index_bits=16, sim=None, check=True):
     if n_out <= 0:
         raise FormatError(f"signal shorter than the stencil window ({window})")
 
-    key = ("stencil", index_bits)
-    if key not in _CACHE:
-        _CACHE[key] = _build(index_bits)
-    program = _CACHE[key]
+    program = PROGRAM_CACHE.get_or_build(("stencil", index_bits),
+                                         lambda: _build(index_bits))
     if sim is None:
         sim = SingleCC()
     wbase = sim.alloc_floats(weights, name="weights")

@@ -29,6 +29,8 @@ class Engine:
         self._wheel = {}
         self._components = []
         self._progress_cycle = 0
+        self._ticking = None          # component currently inside tick()
+        self._component_progress = {}  # component label -> last progress cycle
 
     def add(self, component):
         """Register a component (ticked in registration order)."""
@@ -46,17 +48,56 @@ class Engine:
     def note_progress(self):
         """Components call this when they do useful work (watchdog feed)."""
         self._progress_cycle = self.cycle
+        self._component_progress[self._label(self._ticking)] = self.cycle
+
+    @staticmethod
+    def _label(component):
+        if component is None:
+            return "event-wheel"
+        name = getattr(component, "name", None)
+        return name if name else type(component).__name__
 
     def step(self):
         """Advance the simulation by one cycle."""
         events = self._wheel.pop(self.cycle, None)
         if events:
             self._progress_cycle = self.cycle
+            self._component_progress["event-wheel"] = self.cycle
             for fn, args in events:
                 fn(*args)
         for comp in self._components:
+            self._ticking = comp
             comp.tick()
+        self._ticking = None
         self.cycle += 1
+
+    def progress_report(self):
+        """Diagnostic summary: who last made progress, what is pending.
+
+        Used by the deadlock watchdog so that CI failures from
+        misconfigured streams are diagnosable from the log alone.
+        """
+        lines = []
+        if self._component_progress:
+            latest = sorted(self._component_progress.items(),
+                            key=lambda kv: -kv[1])
+            parts = [f"{name}@{cyc}" for name, cyc in latest[:8]]
+            lines.append("last progress by component: " + ", ".join(parts))
+        else:
+            lines.append("no component ever reported progress")
+        silent = [self._label(c) for c in self._components
+                  if self._label(c) not in self._component_progress]
+        if silent:
+            lines.append("components that never progressed: "
+                         + ", ".join(sorted(set(silent))[:8]))
+        if self._wheel:
+            pending = sorted(self._wheel)
+            shown = ", ".join(str(c) for c in pending[:8])
+            more = f" (+{len(pending) - 8} more)" if len(pending) > 8 else ""
+            lines.append(f"pending event-wheel cycles: {shown}{more}")
+        else:
+            lines.append("event wheel empty")
+        return "; ".join(lines)
 
     def run(self, done, max_cycles=50_000_000):
         """Step until ``done()`` returns True; returns elapsed cycles.
@@ -67,11 +108,15 @@ class Engine:
         start = self.cycle
         while not done():
             if self.cycle - start >= max_cycles:
-                raise DeadlockError(f"simulation exceeded max_cycles={max_cycles}")
+                raise DeadlockError(
+                    f"simulation exceeded max_cycles={max_cycles}; "
+                    + self.progress_report()
+                )
             if self.cycle - self._progress_cycle > self.watchdog:
                 raise DeadlockError(
                     f"no progress for {self.watchdog} cycles (cycle {self.cycle}); "
-                    "likely a stalled stream or unsatisfiable dependency"
+                    "likely a stalled stream or unsatisfiable dependency; "
+                    + self.progress_report()
                 )
             self.step()
         return self.cycle - start

@@ -23,7 +23,6 @@ from repro.isa.isa import (
     FP_FROM_INT_OPS,
     FP_LONG_OPS,
     FP_MAC_OPS,
-    FP_MOVE_OPS,
     FP_SHORT_OPS,
     FP_TO_INT_OPS,
     FPU_LATENCY,

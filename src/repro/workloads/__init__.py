@@ -3,12 +3,14 @@
 from repro.workloads.collection import (
     G7,
     G11,
+    LARGE_SET,
     PAPER_SET,
     RAGUSA18,
     RECTANGULAR_SET,
     MatrixSpec,
     calibration_set,
     get_spec,
+    large_set,
     load,
     matrix_names,
     paper_set,
@@ -25,12 +27,14 @@ __all__ = [
     "RAGUSA18",
     "G11",
     "G7",
+    "LARGE_SET",
     "PAPER_SET",
     "RECTANGULAR_SET",
     "matrix_names",
     "get_spec",
     "paper_set",
     "calibration_set",
+    "large_set",
     "load",
     "random_csr",
     "random_dense_matrix",

@@ -119,7 +119,20 @@ RECTANGULAR_SET = (
                domain="economics (wide)", params={"alpha": 1.2}),
 )
 
-_ALL = {spec.name: spec for spec in (RAGUSA18, G11, G7, *PAPER_SET, *RECTANGULAR_SET)}
+#: Beyond the paper's envelope: matrices far too large to cycle-step
+#: in Python, intended for the fast backend (``backend="fast"``) —
+#: the follow-up papers (SSSR, NM-PIC) evaluate at this scale.
+LARGE_SET = (
+    MatrixSpec("webgraph64k", 65536, 65536, 1048576, "powerlaw",
+               domain="web/social graph (scale-free)", params={"alpha": 1.2}),
+    MatrixSpec("fem256k", 262144, 262144, 4718592, "banded",
+               domain="large finite-element mesh", params={"bandwidth": 12}),
+    MatrixSpec("recsys128k", 131072, 131072, 6553600, "uniform",
+               domain="recommender interaction matrix"),
+)
+
+_ALL = {spec.name: spec for spec in (RAGUSA18, G11, G7, *PAPER_SET,
+                                     *RECTANGULAR_SET, *LARGE_SET)}
 
 
 def matrix_names():
@@ -143,6 +156,11 @@ def paper_set():
 def calibration_set():
     """The §IV-D power-calibration anchors (G11 low, G7 high)."""
     return (G11, G7)
+
+
+def large_set():
+    """Beyond-envelope matrices for fast-backend sweeps (by nnz/row)."""
+    return sorted(LARGE_SET, key=lambda s: s.nnz_per_row)
 
 
 def load(name, seed=None, scale=1.0):

@@ -1,7 +1,5 @@
 """Unit tests for the FPU subsystem: latency, FREP, staggering."""
 
-import math
-
 import pytest
 
 from repro.isa import ProgramBuilder
@@ -92,7 +90,6 @@ class TestPipelining:
         def body(b, sim):
             # warm up, then time 8 fadds
             b.csrr("s0", CSR_CYCLE)
-            prev = "ft2"
             for i in range(8):
                 if dependent:
                     b.fadd_d("ft2", "ft2", "ft3")

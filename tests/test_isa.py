@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import AssemblerError
-from repro.isa import Program, ProgramBuilder, fp_reg, int_reg
+from repro.isa import ProgramBuilder, fp_reg, int_reg
 from repro.isa.isa import ALL_OPS, FP_OPS, Instr
 
 

@@ -1,6 +1,5 @@
 """Integration tests for the SpVV kernels: correctness and timing."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

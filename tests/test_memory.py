@@ -143,8 +143,6 @@ class TestSharedPort:
         mem = IdealMemory(eng, 128)
         phys = mem.new_port("phys")
         shared = SharedPort("mux", phys, 3)
-        order = []
-        mem_orig_take = phys.take
 
         for i in range(3):
             shared.slot(i).request(8 * i, 8, True, value=float(i))

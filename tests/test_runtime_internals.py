@@ -1,10 +1,9 @@
 """Unit tests for cluster-runtime internals and counters."""
 
-import numpy as np
 import pytest
 
 from repro.cluster import SnitchCluster
-from repro.cluster.runtime import ClusterCsrmv
+from repro.cluster.runtime import ClusterCsrmv, tile_words
 from repro.sim.counters import RunStats
 from repro.workloads import random_csr, random_dense_vector
 
@@ -28,7 +27,7 @@ class TestTilePlanning:
         cl, job, m, x = make_job(nrows=512, npr=32)
         half = (cl.tcdm.storage.size // 8 - len(x) - 64) // 2
         for r0, r1 in job.tiles:
-            assert job._tile_words(r0, r1) <= half
+            assert tile_words(m.ptr, r0, r1, job.idx_bytes) <= half
 
     def test_buffers_disjoint(self):
         _, job, _, _ = make_job()
