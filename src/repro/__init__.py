@@ -4,32 +4,64 @@
 Sparse-Dense Linear Algebra" (Scheffler, Zaruba, Schuiki, Hoefler,
 Benini — DATE 2021, arXiv:2011.08070), rebuilt as a cycle-level Python
 simulator of the Snitch core complex and cluster, with the SSR/ISSR
-streamers, the paper's kernels, and its full evaluation harness.
+streamers, the paper's kernels, its full evaluation harness, and an
+Occamy-style multi-cluster scale-out layer.
 
 Quick start::
 
     from repro.workloads import random_csr, random_dense_vector
-    from repro.kernels import run_csrmv
+    from repro.backends import get_backend
 
     A = random_csr(128, 1024, 128 * 32, seed=1)
     x = random_dense_vector(1024, seed=2)
-    stats, y = run_csrmv(A, x, "issr", index_bits=16)
+    stats, y = get_backend("fast").csrmv(A, x, "issr", index_bits=16)
     print(stats.cycles, stats.fpu_utilization)
 
-See DESIGN.md for the system inventory and EXPERIMENTS.md for
-paper-vs-measured results.
+Scale-out::
+
+    from repro.multicluster import run_multicluster
+
+    stats, y = run_multicluster(A, x, n_clusters=8,
+                                partitioner="nnz_balanced",
+                                backend="fast")
+
+See docs/ARCHITECTURE.md for the layer map and the contracts between
+layers (tick order, backend bit-identity, partitioner semantics).
+
+Public API surface (``__all__``):
+
+- sparse formats — :class:`SparseFiber`, :class:`CsrMatrix`,
+  :class:`CscMatrix`, :class:`CsfTensor`;
+- execution backends — :func:`get_backend`, :data:`BACKENDS`,
+  :class:`Backend`, :data:`CYCLE_TOLERANCE`;
+- scale-out — :func:`run_multicluster`, :class:`HbmConfig`,
+  :data:`PARTITIONERS`;
+- error taxonomy — :mod:`repro.errors`.
+
+Everything else (kernels, cluster runtime, eval drivers, workloads)
+is stable at module level: import it from its submodule, e.g.
+``from repro.workloads import random_csr``.
 """
 
-__version__ = "0.1.0"
+__version__ = "0.2.0"
 
 from repro import errors
+from repro.backends import BACKENDS, CYCLE_TOLERANCE, Backend, get_backend
 from repro.formats import CscMatrix, CsfTensor, CsrMatrix, SparseFiber
+from repro.multicluster import PARTITIONERS, HbmConfig, run_multicluster
 
 __all__ = [
-    "errors",
-    "SparseFiber",
-    "CsrMatrix",
+    "BACKENDS",
+    "Backend",
+    "CYCLE_TOLERANCE",
     "CscMatrix",
     "CsfTensor",
+    "CsrMatrix",
+    "HbmConfig",
+    "PARTITIONERS",
+    "SparseFiber",
     "__version__",
+    "errors",
+    "get_backend",
+    "run_multicluster",
 ]

@@ -1,5 +1,9 @@
 """Pluggable kernel-execution backends (see :mod:`repro.backends.base`).
 
+Both backends execute the paper's §III kernels and the §IV-B cluster
+runtime; ``cycle`` measures, ``fast`` replays + predicts
+(bit-identical results, cycles within :data:`CYCLE_TOLERANCE`).
+
 >>> from repro.backends import get_backend
 >>> backend = get_backend("fast")
 >>> stats, y = backend.csrmv(matrix, x, "issr", 16)   # doctest: +SKIP

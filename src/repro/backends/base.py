@@ -1,6 +1,7 @@
 """The execution-backend interface.
 
-A backend decouples *what a kernel computes* from *how it is executed*.
+A backend decouples *what a kernel computes* (the §III-B kernels and
+the §IV-B cluster runtime) from *how it is executed*.
 Every method takes the same operands as the corresponding
 ``repro.kernels``/``repro.cluster`` entry point and returns the same
 ``(stats, result)`` pair, where ``stats`` is a

@@ -2,8 +2,9 @@
 
 Thin adapter over :mod:`repro.kernels` and
 :mod:`repro.cluster.runtime`; every call builds a fresh single-CC
-harness (or Snitch cluster) and runs the assembled kernel through the
-cycle-stepped engine.
+harness (or Snitch cluster, §II-C/Fig. 3) and runs the assembled
+kernel of §III through the cycle-stepped engine — the measurement
+path behind every Fig. 4 reproduction.
 """
 
 from repro.backends.base import Backend
@@ -20,18 +21,23 @@ class CycleBackend(Backend):
     name = "cycle"
 
     def spvv(self, fiber, x, variant, index_bits=32, check=True):
+        """Simulate the §III-B SpVV kernel on one core complex."""
         return run_spvv(fiber, x, variant, index_bits, check=check)
 
     def csrmv(self, matrix, x, variant, index_bits=32, check=True):
+        """Simulate the §III-B CsrMV kernel on one core complex."""
         return run_csrmv(matrix, x, variant, index_bits, check=check)
 
     def csrmm(self, matrix, dense, variant, index_bits=32, check=True):
+        """Simulate the §III-B CsrMM kernel (column-looped CsrMV)."""
         return run_csrmm(matrix, dense, variant, index_bits, check=check)
 
     def ttv(self, tensor, vector, index_bits=32, check=True):
+        """Simulate the §III-B CSF tensor-times-vector kernel."""
         return run_ttv(tensor, vector, index_bits, check=check)
 
     def cluster_csrmv(self, matrix, x, variant="issr", index_bits=16,
                       check=True, **kwargs):
+        """Simulate the §IV-B double-buffered 8-core cluster CsrMV."""
         return run_cluster_csrmv(matrix, x, variant, index_bits,
                                  check=check, **kwargs)

@@ -4,7 +4,7 @@ Results are **bit-identical** to the cycle backend: the simulator's FPU
 evaluates ``fmadd.d`` as the Python expression ``a * b + c`` (two
 roundings), so replaying each kernel's exact accumulation order with
 IEEE-754 double operations reproduces its output to the last bit. The
-orders differ per variant:
+orders differ per variant (§III-B, Listing 1):
 
 - BASE/SSR accumulate each row left to right from ``0.0``;
 - ISSR short rows start from the first product (``fmul``) and chain;
@@ -132,6 +132,7 @@ class FastBackend(Backend):
     name = "fast"
 
     def spvv(self, fiber, x, variant, index_bits=32, check=True):
+        """Replay the §III-B SpVV accumulation order; model cycles."""
         check_variant(variant)
         check_index_bits(index_bits)
         x = np.asarray(x, dtype=np.float64)
@@ -141,6 +142,7 @@ class FastBackend(Backend):
         return spvv_stats(fiber.nnz, variant, index_bits), result
 
     def csrmv(self, matrix, x, variant, index_bits=32, check=True):
+        """Replay the §III-B CsrMV row loop; model cycles per row."""
         check_variant(variant)
         check_index_bits(index_bits)
         x = np.asarray(x, dtype=np.float64)
@@ -150,6 +152,7 @@ class FastBackend(Backend):
         return stats, y
 
     def csrmm(self, matrix, dense, variant, index_bits=32, check=True):
+        """Replay the §III-B CsrMM kernel (CsrMV per dense column)."""
         check_variant(variant)
         check_index_bits(index_bits)
         dense = np.asarray(dense, dtype=np.float64)
@@ -166,6 +169,7 @@ class FastBackend(Backend):
         return stats, out
 
     def ttv(self, tensor, vector, index_bits=32, check=True):
+        """Replay the §III-B TTV leaf-fiber reductions (ISSR order)."""
         if not isinstance(tensor, CsfTensor):
             raise FormatError("ttv expects a CsfTensor")
         vector = np.asarray(vector, dtype=np.float64)
@@ -184,6 +188,7 @@ class FastBackend(Backend):
 
     def cluster_csrmv(self, matrix, x, variant="issr", index_bits=16,
                       check=True, cluster=None, max_cycles=None, **kwargs):
+        """Predict the §IV-B cluster schedule; replay the row results."""
         if kwargs:
             raise ConfigError(
                 f"FastBackend.cluster_csrmv does not model {sorted(kwargs)}"

@@ -9,7 +9,8 @@ cycle-stepped simulator:
   load and its pointer increment -> 7 cycles per nonzero;
 - the ISSR variants issue one FREP'd ``fmadd.d`` per nonzero through
   the shared-port round-robin at the paper's 2/3 (32-bit) and 4/5
-  (16-bit) rates -> 1.5 and 1.25 cycles per streamed element;
+  (16-bit) rates (§IV-A, Fig. 4a) -> 1.5 and 1.25 cycles per
+  streamed element;
 - the per-row CsrMV cost splits into the kernel's three cases (see
   ``emit_issr_row_loop``): empty row (store only), short reduction
   (chained MAC, 3 cycles per element behind the row overhead), and the
@@ -22,6 +23,8 @@ tolerances (:data:`CYCLE_TOLERANCE`): single-CC kernels track the
 simulator to a few cycles per row; the cluster model additionally
 approximates TCDM bank conflicts and DMA overlap.
 """
+
+import math
 
 import numpy as np
 
@@ -74,8 +77,8 @@ _MM_OVERHEAD = {("base", 32): (9, 10), ("base", 16): (9, 10),
                 ("issr", 32): (37, 6), ("issr", 16): (29, 10)}
 
 #: Fraction of ISSR element traffic lost to TCDM bank conflicts in the
-#: cluster, ramping with row density (the paper: peak utilization drops
-#: from 0.8 to ~0.71 under bank conflicts).
+#: cluster, ramping with row density (§IV-B / Fig. 4c: peak
+#: utilization drops from 0.8 to ~0.71 under bank conflicts).
 _CONFLICT_MAX = 0.06
 _CONFLICT_RAMP_NPR = 32.0
 
@@ -240,13 +243,40 @@ def _conflict_factor(variant, nnz, nrows):
     return 1.0 + _CONFLICT_MAX * min(1.0, npr / _CONFLICT_RAMP_NPR)
 
 
-def _dma_cycles(words, n_transfers=1):
-    """Cycles for DMA transfers totalling ``words`` 64-bit words."""
-    return (words + 7) // 8 + 2 * n_transfers
+def _dma_cycles(words, n_transfers=1, words_per_cycle=8.0):
+    """Cycles for DMA transfers totalling ``words`` 64-bit words.
+
+    ``words_per_cycle`` is the effective DMA bandwidth — 8 (one
+    512-bit beat) for a lone cluster, possibly fractional under shared
+    HBM contention (see :mod:`repro.multicluster.hbm`).
+    """
+    return math.ceil(words / words_per_cycle) + 2 * n_transfers
+
+
+def overlap_schedule_cycles(prefetch_cycles, compute_cycles,
+                            initial_cycles, final_cycles):
+    """Total cycles of the §IV-B double-buffered schedule skeleton.
+
+    The exposed initial transfer, then per tile
+    ``max(compute, next prefetch)`` plus a barrier, with the final
+    writeback exposed at the end. Shared by the cluster CsrMV model
+    below and the CsrMM model in :mod:`repro.multicluster.model`, so a
+    schedule change propagates to both.
+    """
+    total = initial_cycles
+    if prefetch_cycles:
+        total += prefetch_cycles[0]
+    for t in range(len(prefetch_cycles)):
+        nxt = prefetch_cycles[t + 1] if t + 1 < len(prefetch_cycles) else 0
+        total += max(compute_cycles[t], nxt) + BARRIER_CYCLES
+    if prefetch_cycles:
+        total += final_cycles
+    return total
 
 
 def cluster_csrmv_stats(matrix, variant, index_bits, n_workers=8,
-                        tcdm_words=256 * 1024 // 8, tile_rows=None):
+                        tcdm_words=256 * 1024 // 8, tile_rows=None,
+                        dma_words_per_cycle=8.0):
     """Predicted :class:`ClusterStats` for a cluster CsrMV run.
 
     Follows the double-buffered schedule of
@@ -256,6 +286,10 @@ def cluster_csrmv_stats(matrix, variant, index_bits, n_workers=8,
     final writeback exposed at the end. Worker compute is the
     single-CC model on the worker's row share, inflated by the bank-
     conflict factor and the DMCC start stagger.
+
+    ``dma_words_per_cycle`` scales every DMA transfer (default 8 — a
+    lone cluster's full 512-bit beat); the multi-cluster model passes
+    the contended HBM share here (:mod:`repro.multicluster.hbm`).
     """
     idx_bytes = index_bits // 8
     lengths = matrix.row_lengths()
@@ -273,7 +307,9 @@ def cluster_csrmv_stats(matrix, variant, index_bits, n_workers=8,
         # y slots (which travel back as the writeback instead)
         words = tile_words(ptr, r0, r1, idx_bytes) - (r1 - r0)
         dma_words += words + (r1 - r0)  # prefetch + y writeback
-        prefetch_cycles.append(_dma_cycles(words, n_transfers=3))
+        prefetch_cycles.append(
+            _dma_cycles(words, n_transfers=3,
+                        words_per_cycle=dma_words_per_cycle))
         worst = 0
         for w, (w0, w1) in enumerate(worker_shares(r0, r1, n_workers)):
             if w1 == w0:
@@ -292,15 +328,13 @@ def cluster_csrmv_stats(matrix, variant, index_bits, n_workers=8,
                         + WORKER_START_STAGGER * w)
         compute_cycles.append(worst)
 
-    total = _dma_cycles(max(matrix.ncols, 1))  # x cannot be overlapped
-    if tiles:
-        total += prefetch_cycles[0]
-    for t in range(len(tiles)):
-        nxt = prefetch_cycles[t + 1] if t + 1 < len(tiles) else 0
-        total += max(compute_cycles[t], nxt) + BARRIER_CYCLES
-    if tiles:
-        r0, r1 = tiles[-1]
-        total += _dma_cycles(r1 - r0)
+    # the initial x transfer cannot be overlapped with computation
+    total = overlap_schedule_cycles(
+        prefetch_cycles, compute_cycles,
+        _dma_cycles(max(matrix.ncols, 1),
+                    words_per_cycle=dma_words_per_cycle),
+        _dma_cycles(tiles[-1][1] - tiles[-1][0],
+                    words_per_cycle=dma_words_per_cycle) if tiles else 0)
 
     stats = ClusterStats(cycles=total)
     for core in per_core:
@@ -310,7 +344,7 @@ def cluster_csrmv_stats(matrix, variant, index_bits, n_workers=8,
                      "fpu_issued_ops", "mem_reads", "mem_writes"):
             setattr(stats, attr, getattr(stats, attr) + getattr(core, attr))
     stats.dma_words = dma_words
-    stats.dma_busy_cycles = min(total, (dma_words + 7) // 8)
+    stats.dma_busy_cycles = min(total, math.ceil(dma_words / dma_words_per_cycle))
     stats.tcdm_conflicts = int((conflict - 1.0) * sum(compute_cycles)
                                * max(n_workers, 1))
     stats.icache_misses = 8 * n_workers + 2 * max(len(tiles) - 1, 0)

@@ -24,25 +24,37 @@ CORES_PER_HIVE = 4
 
 
 class SnitchCluster:
-    """The simulated cluster; construct, then hand to a runtime."""
+    """The simulated cluster; construct, then hand to a runtime.
+
+    By default each cluster owns a private :class:`Engine` and
+    :class:`MainMemory`. For multi-cluster scale-out
+    (:mod:`repro.multicluster`) pass a shared ``engine`` so N clusters
+    are stepped in lockstep, and a shared ``mainmem`` so they contend
+    for one HBM-like backing store; ``name`` prefixes component labels
+    so deadlock progress reports stay unambiguous across clusters.
+    """
 
     def __init__(self, n_workers=N_WORKERS, tcdm_bytes=256 * 1024,
-                 n_banks=32, watchdog=200000, ideal_icache=False):
-        self.engine = Engine(watchdog=watchdog)
-        self.tcdm = Tcdm(self.engine, tcdm_bytes, n_banks)
-        self.mainmem = MainMemory()
-        self.dma = Dma(self.engine, self.tcdm, self.mainmem)
+                 n_banks=32, watchdog=200000, ideal_icache=False,
+                 engine=None, mainmem=None, name=""):
+        self.engine = engine if engine is not None else Engine(watchdog=watchdog)
+        self.name = name
+        pfx = f"{name}." if name else ""
+        self.tcdm = Tcdm(self.engine, tcdm_bytes, n_banks, name=f"{pfx}tcdm")
+        self.mainmem = mainmem if mainmem is not None else MainMemory()
+        self.dma = Dma(self.engine, self.tcdm, self.mainmem,
+                       name=f"{pfx}dma")
         self.n_workers = n_workers
 
         n_hives = max(1, (n_workers + CORES_PER_HIVE - 1) // CORES_PER_HIVE)
-        self.l1is = [SharedL1(self.engine, name=f"l1i{h}") for h in range(n_hives)]
+        self.l1is = [SharedL1(self.engine, name=f"{pfx}l1i{h}") for h in range(n_hives)]
         self.ccs = []
         for w in range(n_workers):
             if ideal_icache:
                 icache = None
             else:
-                icache = L0ICache(self.l1is[w // CORES_PER_HIVE], name=f"l0i{w}")
-            cc = CoreComplex(self.engine, self.tcdm, icache=icache, name=f"cc{w}")
+                icache = L0ICache(self.l1is[w // CORES_PER_HIVE], name=f"{pfx}l0i{w}")
+            cc = CoreComplex(self.engine, self.tcdm, icache=icache, name=f"{pfx}cc{w}")
             self.ccs.append(cc)
 
         # Tick order: control first (runtime registers itself at index 0

@@ -5,12 +5,16 @@ Usage::
     python -m repro.eval                      # run everything (quick mode)
     python -m repro.eval run E1 E5            # run selected experiments
     python -m repro.eval run E2 --backend fast --parallel 8
+    python -m repro.eval scaling --backend fast --parallel
     python -m repro.eval --full               # full-fidelity workloads (slow)
 
 The leading ``run`` token is optional. ``--backend fast`` executes on
 the functional backend with analytic timing (see
 :mod:`repro.backends`); ``--parallel N`` fans experiment points out
-over N worker processes with on-disk result caching.
+over N worker processes with on-disk result caching (bare
+``--parallel`` uses every CPU). The ``scaling`` experiment
+additionally writes its strong+weak dataset to ``scaling.json``
+(see :mod:`repro.eval.scaling`).
 """
 
 import argparse
@@ -20,6 +24,15 @@ import time
 from repro.backends import BACKENDS
 from repro.eval.experiments import EXPERIMENTS, run_all, run_experiment
 from repro.eval.parallel import ParallelRunner
+
+
+def _positive_int(text):
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"process count must be >= 1, got {value} "
+            "(omit --parallel to run inline)")
+    return value
 
 
 def main(argv=None):
@@ -40,8 +53,12 @@ def main(argv=None):
                         help="full-fidelity workloads (slow; default quick)")
     parser.add_argument("--backend", choices=sorted(BACKENDS), default=None,
                         help="execution backend (default: cycle)")
-    parser.add_argument("--parallel", type=int, default=None, metavar="N",
-                        help="fan experiment points over N processes")
+    # const=0 marks the bare flag; it can never clash with user input
+    # because _positive_int rejects an explicit "--parallel 0".
+    parser.add_argument("--parallel", type=_positive_int, default=None,
+                        metavar="N", nargs="?", const=0,
+                        help="fan experiment points over N processes "
+                             "(bare --parallel uses every CPU)")
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the on-disk point-result cache")
     parser.add_argument("--cache-dir", default=None, metavar="DIR",
@@ -57,7 +74,13 @@ def main(argv=None):
 
     runner = None
     if args.parallel is not None or args.no_cache or args.cache_dir:
-        runner = ParallelRunner(processes=args.parallel or 1,
+        # bare --parallel (const 0) means "use every CPU";
+        # caching flags alone keep execution inline (one process).
+        if args.parallel is None:
+            processes = 1
+        else:
+            processes = args.parallel or None
+        runner = ParallelRunner(processes=processes,
                                 cache_dir=args.cache_dir,
                                 use_cache=not args.no_cache)
 

@@ -10,7 +10,7 @@ Kernel-running experiments accept a ``backend=`` selector ("cycle" or
 their points out over worker processes with on-disk caching.
 """
 
-from repro.eval import claims, fig4a, fig4b, fig4c, fig4d, static_models
+from repro.eval import claims, fig4a, fig4b, fig4c, fig4d, scaling, static_models
 
 #: Quick-mode knobs keep the full suite runnable in minutes.
 QUICK = {
@@ -20,12 +20,14 @@ QUICK = {
     "E4": dict(scale=0.02),
     "E8": dict(nnz=2048, npr=128),
     "E10": dict(),
+    "scaling": dict(),
 }
 
 #: Experiments that execute kernels and honor ``backend=``.
-BACKEND_AWARE = frozenset({"E1", "E2", "E3", "E4", "E8", "E9", "E10"})
+BACKEND_AWARE = frozenset({"E1", "E2", "E3", "E4", "E8", "E9", "E10",
+                           "scaling"})
 #: Sweep-shaped experiments that honor ``runner=`` point fan-out.
-PARALLEL_AWARE = frozenset({"E1", "E2", "E3", "E4", "E9"})
+PARALLEL_AWARE = frozenset({"E1", "E2", "E3", "E4", "E9", "scaling"})
 
 
 def _run_related_from_e3(e3_result=None, **kwargs):
@@ -48,6 +50,9 @@ EXPERIMENTS = {
     "E8": claims.run_claims,
     "E9": _run_related_from_e3,
     "E10": claims.run_csrmm_claim,
+    # E11: multi-cluster strong/weak scaling (defaults to the fast
+    # backend — an analytic-model sweep; "scaling" is its CLI name).
+    "scaling": scaling.run,
 }
 
 

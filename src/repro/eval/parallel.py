@@ -13,15 +13,25 @@ Kernel programs are rebuilt inside each worker process (the shared
 built crosses a process boundary.
 """
 
+import dataclasses
 import hashlib
 import multiprocessing
 import os
 import pickle
 import subprocess
 
+import numpy as np
+
 #: Default cache directory (overridable via the environment).
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: Cache-key schema version. Bump whenever the key derivation (or the
+#: meaning of a point's parameters) changes so stale entries can never
+#: be served — e.g. v2 added the canonical parameter encoding when the
+#: multi-cluster sweeps introduced cluster-count / partitioner / HBM
+#: parameters that must distinguish otherwise-identical points.
+KEY_SCHEMA = 2
 
 _code_version = None
 
@@ -70,11 +80,65 @@ def map_points(fn, params, runner=None):
     return [fn(p) for p in params]
 
 
+def canonical_params(value):
+    """Deterministic, collision-safe text encoding of point parameters.
+
+    Every parameter that changes a point's result must change its
+    encoding: dicts are sorted, dataclasses (e.g.
+    :class:`~repro.workloads.MatrixSpec`,
+    :class:`~repro.multicluster.hbm.HbmConfig`) expand to their typed
+    field values, and objects whose ``repr`` embeds a memory address
+    (``... at 0x...``) fall back to a hash of their pickled state so
+    two distinct runs of the same sweep agree on the key.
+    """
+    if isinstance(value, dict):
+        inner = ",".join(
+            f"{canonical_params(k)}:{canonical_params(v)}"
+            for k, v in sorted(value.items(), key=lambda kv: repr(kv[0]))
+        )
+        return "{" + inner + "}"
+    if isinstance(value, (list, tuple, set, frozenset)):
+        items = sorted(value, key=repr) if isinstance(value, (set, frozenset)) \
+            else value
+        return "[" + ",".join(canonical_params(v) for v in items) + "]"
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        fields = {f.name: getattr(value, f.name)
+                  for f in dataclasses.fields(value)}
+        return (f"{type(value).__module__}.{type(value).__qualname__}"
+                + canonical_params(fields))
+    if isinstance(value, np.ndarray):
+        # repr() truncates large arrays ('...'), which would collide;
+        # hash the full buffer instead.
+        digest = hashlib.sha256(np.ascontiguousarray(value).tobytes())
+        return (f"ndarray({value.dtype},{value.shape},"
+                f"{digest.hexdigest()[:16]})")
+    text = repr(value)
+    if " at 0x" in text:  # default object repr: address-dependent
+        try:
+            digest = hashlib.sha256(pickle.dumps(value)).hexdigest()[:16]
+        except Exception:
+            raise TypeError(
+                f"point parameter {type(value).__name__} has no stable "
+                "repr and cannot be pickled; pass primitives, "
+                "dataclasses, or objects with value-based reprs"
+            ) from None
+        return f"{type(value).__module__}.{type(value).__qualname__}#{digest}"
+    return text
+
+
 def point_key(fn, params):
-    """Stable cache key for one (point function, params) pair."""
+    """Stable cache key for one (point function, params) pair.
+
+    Keyed by the fully-qualified point function, the canonical
+    parameter encoding (see :func:`canonical_params` — this is what
+    keeps multi-cluster points with differing ``n_clusters`` /
+    ``partitioner`` / HBM settings from ever colliding with
+    single-cluster ones), the code version, and :data:`KEY_SCHEMA`.
+    """
     ident = (
+        f"schema{KEY_SCHEMA}\n"
         f"{fn.__module__}.{fn.__qualname__}\n"
-        f"{sorted(params.items())!r}\n"
+        f"{canonical_params(params)}\n"
         f"{code_version()}"
     )
     return hashlib.sha256(ident.encode()).hexdigest()
@@ -89,6 +153,13 @@ class ParallelRunner:
 
     def __init__(self, processes=None, cache_dir=None, use_cache=True,
                  mp_context=None):
+        if processes is not None and processes < 1:
+            from repro.errors import ConfigError
+
+            raise ConfigError(
+                f"ParallelRunner needs processes >= 1 (or None for all "
+                f"CPUs), got {processes}"
+            )
         self.processes = processes or os.cpu_count() or 1
         if cache_dir is None:
             cache_dir = os.environ.get(CACHE_DIR_ENV, DEFAULT_CACHE_DIR)

@@ -105,6 +105,14 @@ class ProgramCache:
 
 #: The shared program cache for all kernel modules; keys are
 #: (kernel name, variant, index_bits) tuples.
+#:
+#: Key contract: a key must include *every* parameter that changes the
+#: assembled program. The multi-cluster layer (``repro.multicluster``)
+#: deliberately runs the unchanged single-cluster kernels on every
+#: shard, so cluster count, partitioner, and HBM configuration never
+#: influence a built program and stay out of these keys — they live in
+#: the experiment point-cache keys instead
+#: (:func:`repro.eval.parallel.point_key`), which *must* carry them.
 PROGRAM_CACHE = ProgramCache(maxsize=64)
 
 

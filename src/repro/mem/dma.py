@@ -65,14 +65,22 @@ class Dma:
     following cycles, so a congested beat completes partially.
     """
 
-    def __init__(self, engine, tcdm, mainmem):
+    def __init__(self, engine, tcdm, mainmem, name="dma"):
         self.engine = engine
         self.tcdm = tcdm
         self.mainmem = mainmem
+        self.name = name
+        #: Optional shared main-memory fabric (see
+        #: :class:`repro.multicluster.hbm.HbmFabric`). When set, each
+        #: cycle's word-level ops are granted against the fabric's
+        #: aggregate bandwidth budget before touching the TCDM; words
+        #: denied this cycle stay in the beat and retry next cycle.
+        self.fabric = None
         self._queues = {IN: deque(), OUT: deque()}
         self._beat = {IN: None, OUT: None}
         self.words_moved = 0
         self.busy_cycles = 0
+        self.fabric_stall_words = 0
 
     @property
     def busy(self):
@@ -113,8 +121,16 @@ class Dma:
                 beat = self._build_beat(queue[0], direction)
                 self._beat[direction] = beat
             if beat is not None:
-                all_ops.extend(op for op in beat if not op[2])
+                ops = [op for op in beat if not op[2]]
                 progressed = True
+                if ops and self.fabric is not None:
+                    # claim each direction separately so a narrowed
+                    # per-cluster link throttles per direction, matching
+                    # the analytic model
+                    granted = self.fabric.claim(self, len(ops), direction)
+                    self.fabric_stall_words += len(ops) - granted
+                    ops = ops[:granted]
+                all_ops.extend(ops)
         if all_ops:
             self.tcdm.dma_submit(all_ops)
         if progressed:

@@ -7,6 +7,7 @@ from repro.workloads.collection import (
     PAPER_SET,
     RAGUSA18,
     RECTANGULAR_SET,
+    SCALING_SET,
     MatrixSpec,
     calibration_set,
     get_spec,
@@ -14,6 +15,7 @@ from repro.workloads.collection import (
     load,
     matrix_names,
     paper_set,
+    scaling_set,
 )
 from repro.workloads.synthetic import (
     random_csr,
@@ -30,11 +32,13 @@ __all__ = [
     "LARGE_SET",
     "PAPER_SET",
     "RECTANGULAR_SET",
+    "SCALING_SET",
     "matrix_names",
     "get_spec",
     "paper_set",
     "calibration_set",
     "large_set",
+    "scaling_set",
     "load",
     "random_csr",
     "random_dense_matrix",

@@ -131,8 +131,24 @@ LARGE_SET = (
                domain="recommender interaction matrix"),
 )
 
+#: Scale-out workloads for the multi-cluster scaling experiments
+#: (:mod:`repro.eval.scaling`): a skewed degree-sorted power-law graph
+#: (heavy rows form one contiguous band — block row distribution's
+#: worst case), its shuffled counterpart, and a balanced baseline.
+SCALING_SET = (
+    MatrixSpec("powerlaw-sorted-2k", 2048, 2048, 65536, "powerlaw",
+               domain="degree-sorted scale-free graph (skew stressor)",
+               params={"alpha": 1.2, "sort_rows": True}),
+    MatrixSpec("powerlaw-2k", 2048, 2048, 65536, "powerlaw",
+               domain="scale-free graph (shuffled rows)",
+               params={"alpha": 1.2}),
+    MatrixSpec("uniform-2k", 2048, 2048, 65536, "uniform",
+               domain="balanced baseline for scaling efficiency"),
+)
+
 _ALL = {spec.name: spec for spec in (RAGUSA18, G11, G7, *PAPER_SET,
-                                     *RECTANGULAR_SET, *LARGE_SET)}
+                                     *RECTANGULAR_SET, *LARGE_SET,
+                                     *SCALING_SET)}
 
 
 def matrix_names():
@@ -161,6 +177,11 @@ def calibration_set():
 def large_set():
     """Beyond-envelope matrices for fast-backend sweeps (by nnz/row)."""
     return sorted(LARGE_SET, key=lambda s: s.nnz_per_row)
+
+
+def scaling_set():
+    """Workloads for the multi-cluster scaling experiments (skew first)."""
+    return list(SCALING_SET)
 
 
 def load(name, seed=None, scale=1.0):

@@ -56,7 +56,12 @@ def random_csr(nrows, ncols, nnz, distribution="uniform", seed=None, **kwargs):
     - ``constant``: every row gets exactly ``nnz // nrows`` (plus
       remainder spread over the first rows) — minimal load imbalance.
     - ``powerlaw``: row degrees follow a Zipf-like law with exponent
-      ``alpha`` (default 1.3) — models scale-free graphs.
+      ``alpha`` (default 1.3) — models scale-free graphs. Pass
+      ``sort_rows=True`` to keep the degrees in descending row order
+      (a degree-sorted graph): the heavy rows then form one contiguous
+      band, the worst case for block row distribution and the
+      workload that makes multi-cluster load imbalance visible
+      (see :mod:`repro.multicluster.partition`).
     - ``banded``: nonzeros cluster within ``bandwidth`` (default
       ``max(8, ncols // 16)``) of the diagonal — models PDE stencils.
     - ``block``: nonzeros cluster in ``blocks`` (default 8) random
@@ -116,7 +121,8 @@ def _row_degrees(rng, nrows, ncols, nnz, distribution, kwargs):
     elif distribution == "powerlaw":
         alpha = kwargs.get("alpha", 1.3)
         weights = 1.0 / np.power(np.arange(1, nrows + 1, dtype=np.float64), alpha)
-        rng.shuffle(weights)
+        if not kwargs.get("sort_rows", False):
+            rng.shuffle(weights)
         degrees = _apportion(weights, nnz)
     else:  # uniform / banded / block: multinomial row choice
         weights = np.full(nrows, 1.0 / nrows)
