@@ -1,0 +1,73 @@
+"""Assemble the MkDocs staging tree and build the site strictly.
+
+The committed markdown is written for GitHub browsing: pages under
+``docs/`` reach the root pages with ``../README.md``-style links, and
+the root README links back with ``docs/ARCHITECTURE.md``. MkDocs wants
+every page under one ``docs_dir``. This script reconciles the two by
+*staging*: it copies ``docs/*.md`` and the root pages into
+``build/docs-src/`` (the ``docs_dir`` of ``mkdocs.yml``), rewrites the
+repo-relative links to flat in-site links, drops the CI badge (a
+repo-escaping GitHub URL), and runs ``mkdocs build --strict`` so any
+remaining broken link fails the build — the CI docs job runs exactly
+this script.
+
+Usage:  python docs/build_site.py [--no-build]
+"""
+
+import re
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+STAGING = REPO / "build" / "docs-src"
+
+#: Root-level pages pulled into the site next to the docs/ pages.
+ROOT_PAGES = ("README.md", "ROADMAP.md", "CHANGES.md", "PAPER.md",
+              "PAPERS.md")
+
+_BADGE = re.compile(r"^.*\.\./\.\./actions/.*$", re.MULTILINE)
+
+
+def _rewrite(text):
+    """Flatten repo-relative links for the single-directory site."""
+    text = _BADGE.sub("", text)          # CI badge: escapes the repo
+    text = text.replace("](../", "](")   # docs/ page -> root page
+    text = text.replace("](docs/", "](")  # root page -> docs/ page
+    return text
+
+
+def stage():
+    """Populate the staging docs_dir; returns its path."""
+    if STAGING.exists():
+        shutil.rmtree(STAGING)
+    STAGING.mkdir(parents=True)
+    for md in sorted((REPO / "docs").glob("*.md")):
+        (STAGING / md.name).write_text(_rewrite(md.read_text()))
+    for name in ROOT_PAGES:
+        (STAGING / name).write_text(_rewrite((REPO / name).read_text()))
+    return STAGING
+
+
+def build():
+    """Run ``mkdocs build --strict`` against the staged tree."""
+    subprocess.run(
+        [sys.executable, "-m", "mkdocs", "build", "--strict"],
+        cwd=REPO, check=True)
+    return REPO / "build" / "site"
+
+
+def main(argv=None):
+    argv = sys.argv[1:] if argv is None else argv
+    stage()
+    if "--no-build" in argv:
+        print(f"staged {STAGING}")
+        return 0
+    site = build()
+    print(f"site built at {site}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

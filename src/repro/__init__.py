@@ -31,7 +31,8 @@ layers (tick order, backend bit-identity, partitioner semantics).
 Public API surface (``__all__``):
 
 - sparse formats — :class:`SparseFiber`, :class:`CsrMatrix`,
-  :class:`CscMatrix`, :class:`CsfTensor`;
+  :class:`CscMatrix`, :class:`CsfTensor`, :class:`CsrBuilder`
+  (sparse-output construction);
 - execution backends — :func:`get_backend`, :data:`BACKENDS`,
   :class:`Backend`, :data:`CYCLE_TOLERANCE`;
 - scale-out — :func:`run_multicluster`, :class:`HbmConfig`,
@@ -43,11 +44,17 @@ is stable at module level: import it from its submodule, e.g.
 ``from repro.workloads import random_csr``.
 """
 
-__version__ = "0.2.0"
+__version__ = "0.3.0"
 
 from repro import errors
 from repro.backends import BACKENDS, CYCLE_TOLERANCE, Backend, get_backend
-from repro.formats import CscMatrix, CsfTensor, CsrMatrix, SparseFiber
+from repro.formats import (
+    CscMatrix,
+    CsfTensor,
+    CsrBuilder,
+    CsrMatrix,
+    SparseFiber,
+)
 from repro.multicluster import PARTITIONERS, HbmConfig, run_multicluster
 
 __all__ = [
@@ -56,6 +63,7 @@ __all__ = [
     "CYCLE_TOLERANCE",
     "CscMatrix",
     "CsfTensor",
+    "CsrBuilder",
     "CsrMatrix",
     "HbmConfig",
     "PARTITIONERS",

@@ -42,6 +42,20 @@ class Backend:
         """CSF tensor-times-vector; returns (stats, dense tensor)."""
         raise NotImplementedError
 
+    def masked_spvv(self, fiber_a, fiber_b, variant, index_bits=32,
+                    check=True):
+        """Sparse-sparse masked dot product; returns (stats, float)."""
+        raise NotImplementedError
+
+    def masked_csrmv(self, matrix, x_fiber, variant, index_bits=32,
+                     check=True):
+        """CSR times sparse vector (dense output); returns (stats, y)."""
+        raise NotImplementedError
+
+    def spgemm(self, a, b, variant, index_bits=32, check=True):
+        """CSR x CSR product; returns (stats, CsrMatrix)."""
+        raise NotImplementedError
+
     def cluster_csrmv(self, matrix, x, variant="issr", index_bits=16,
                       check=True, **kwargs):
         """Multi-core double-buffered CsrMV; returns (stats, y)."""

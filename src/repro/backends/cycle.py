@@ -11,6 +11,8 @@ from repro.backends.base import Backend
 from repro.cluster.runtime import run_cluster_csrmv
 from repro.kernels.csrmm import run_csrmm
 from repro.kernels.csrmv import run_csrmv
+from repro.kernels.masked import run_masked_csrmv, run_masked_spvv
+from repro.kernels.spgemm import run_spgemm
 from repro.kernels.spvv import run_spvv
 from repro.kernels.ttv import run_ttv
 
@@ -35,6 +37,22 @@ class CycleBackend(Backend):
     def ttv(self, tensor, vector, index_bits=32, check=True):
         """Simulate the §III-B CSF tensor-times-vector kernel."""
         return run_ttv(tensor, vector, index_bits, check=check)
+
+    def masked_spvv(self, fiber_a, fiber_b, variant, index_bits=32,
+                    check=True):
+        """Simulate the sparse-sparse masked dot (intersection unit)."""
+        return run_masked_spvv(fiber_a, fiber_b, variant, index_bits,
+                               check=check)
+
+    def masked_csrmv(self, matrix, x_fiber, variant, index_bits=32,
+                     check=True):
+        """Simulate the CSR x sparse-vector kernel (one masked SpVV/row)."""
+        return run_masked_csrmv(matrix, x_fiber, variant, index_bits,
+                                check=check)
+
+    def spgemm(self, a, b, variant, index_bits=32, check=True):
+        """Simulate the Gustavson SpGEMM numeric phase on one CC."""
+        return run_spgemm(a, b, variant, index_bits, check=check)
 
     def cluster_csrmv(self, matrix, x, variant="issr", index_bits=16,
                       check=True, **kwargs):

@@ -27,10 +27,16 @@ from repro.backends.model import (
     cluster_csrmv_stats,
     csrmm_stats,
     csrmv_stats,
+    masked_csrmv_stats,
+    masked_spvv_stats,
+    spgemm_stats,
     spvv_stats,
 )
+from repro.core.intersect import merge_profile
 from repro.errors import ConfigError, FormatError
+from repro.formats.builder import spgemm_pattern
 from repro.formats.csf import CsfTensor
+from repro.formats.csr import CsrMatrix
 from repro.kernels.common import (
     BASE,
     ISSR,
@@ -109,6 +115,30 @@ def _accumulate_rows(products, ptr, variant, index_bits):
     return y
 
 
+def _masked_products(a_idcs, a_vals, b_idcs, b_vals):
+    """Products of matched value pairs, in merge (index) order.
+
+    The vectorized form of the lane's functional contract
+    (:func:`repro.core.intersect.intersect_indices`): fiber indices
+    are sorted and unique, so ``np.intersect1d`` yields exactly the
+    merge's matched positions, in order.
+    """
+    _, pa, pb = np.intersect1d(np.asarray(a_idcs, dtype=np.int64),
+                               np.asarray(b_idcs, dtype=np.int64),
+                               assume_unique=True, return_indices=True)
+    return np.asarray(a_vals, dtype=np.float64)[pa] \
+        * np.asarray(b_vals, dtype=np.float64)[pb]
+
+
+def _chain_from_zero(products):
+    """Left-to-right accumulation from +0.0 — the masked kernels' order
+    (identical across BASE/SSR/ISSR, see :mod:`repro.kernels.masked`)."""
+    acc = 0.0
+    for p in products:
+        acc = p + acc
+    return float(acc)
+
+
 def _spvv_value(products, variant, index_bits):
     """Whole-fiber reduction in the SpVV kernel's order."""
     nnz = len(products)
@@ -185,6 +215,85 @@ class FastBackend(Backend):
         lengths = np.diff(leaf_ptr)
         stats = csrmv_stats(lengths, ISSR, index_bits)
         return stats, out
+
+    def masked_spvv(self, fiber_a, fiber_b, variant, index_bits=32,
+                    check=True):
+        """Replay the masked dot's merge-order chain; model cycles."""
+        check_variant(variant)
+        check_index_bits(index_bits)
+        products = _masked_products(fiber_a.indices, fiber_a.values,
+                                    fiber_b.indices, fiber_b.values)
+        result = _chain_from_zero(products)
+        profile = merge_profile(fiber_a.indices, fiber_b.indices)
+        stats = masked_spvv_stats(profile, fiber_a.nnz, fiber_b.nnz,
+                                  variant, index_bits)
+        return stats, result
+
+    def masked_csrmv(self, matrix, x_fiber, variant, index_bits=32,
+                     check=True):
+        """Replay the per-row masked dots; model cycles per row."""
+        check_variant(variant)
+        check_index_bits(index_bits)
+        y = np.zeros(matrix.nrows, dtype=np.float64)
+        profiles = []
+        if x_fiber.nnz:
+            for r in range(matrix.nrows):
+                lo, hi = int(matrix.ptr[r]), int(matrix.ptr[r + 1])
+                if hi == lo:
+                    continue
+                products = _masked_products(
+                    matrix.idcs[lo:hi], matrix.vals[lo:hi],
+                    x_fiber.indices, x_fiber.values)
+                y[r] = _chain_from_zero(products)
+                profiles.append(merge_profile(matrix.idcs[lo:hi],
+                                              x_fiber.indices))
+        stats = masked_csrmv_stats(profiles, matrix.row_lengths(),
+                                   x_fiber.nnz, variant, index_bits)
+        return stats, y
+
+    def spgemm(self, a, b, variant, index_bits=32, check=True,
+               pattern=None):
+        """Replay Gustavson's k-major scatter order; model cycles.
+
+        ``pattern`` optionally supplies a precomputed symbolic phase
+        ``(ptr, idcs)`` (the multicluster path computes it per shard
+        for the DMA model and passes it here to avoid a second pass).
+        """
+        check_variant(variant)
+        check_index_bits(index_bits)
+        if a.ncols != b.nrows:
+            raise FormatError(
+                f"spgemm shape mismatch: {a.shape} @ {b.shape}")
+        ptr, idcs = pattern if pattern is not None else spgemm_pattern(a, b)
+        vals = np.zeros(int(ptr[-1]), dtype=np.float64)
+        acc = np.zeros(b.ncols, dtype=np.float64)
+        n_pattern = n_skip = n_a = n_k = flops = 0
+        for r in range(a.nrows):
+            plo, phi = int(ptr[r]), int(ptr[r + 1])
+            if phi == plo:
+                n_skip += 1
+                continue
+            n_pattern += 1
+            pat = idcs[plo:phi]
+            acc[pat] = 0.0
+            for e in range(int(a.ptr[r]), int(a.ptr[r + 1])):
+                n_a += 1
+                k = int(a.idcs[e])
+                blo, bhi = int(b.ptr[k]), int(b.ptr[k + 1])
+                if bhi == blo:
+                    continue
+                n_k += 1
+                flops += bhi - blo
+                cols = b.idcs[blo:bhi]
+                # column indices are unique within a B row, so the
+                # fancy update reproduces the kernel's sequential
+                # fmadd order (two roundings: multiply, then add)
+                acc[cols] = a.vals[e] * b.vals[blo:bhi] + acc[cols]
+            vals[plo:phi] = acc[pat]
+        c = CsrMatrix(ptr, idcs, vals, (a.nrows, b.ncols))
+        stats = spgemm_stats(n_pattern, n_skip, int(ptr[-1]), n_a, n_k,
+                             flops, variant, index_bits)
+        return stats, c
 
     def cluster_csrmv(self, matrix, x, variant="issr", index_bits=16,
                       check=True, cluster=None, max_cycles=None, **kwargs):

@@ -42,7 +42,11 @@ from repro.sim.counters import LaneStats, RunStats
 #: Documented cycle-prediction tolerances of the fast backend, as a
 #: relative fraction of the cycle backend's count (plus a small
 #: absolute slack for setup-dominated runs, :data:`CYCLE_SLACK`).
-CYCLE_TOLERANCE = {"single": 0.10, "cluster": 0.20}
+#: "masked" covers the sparse-sparse intersection kernels (masked
+#: SpVV/CsrMV), "spgemm" the Gustavson numeric phase — both fitted to
+#: well under half their budget on the calibration sweeps.
+CYCLE_TOLERANCE = {"single": 0.10, "cluster": 0.20,
+                   "masked": 0.10, "spgemm": 0.10}
 
 #: Absolute slack (cycles) allowed on top of the relative tolerance.
 CYCLE_SLACK = 32
@@ -232,6 +236,200 @@ def csrmm_stats(lengths, k, variant, index_bits):
     stats.first_mac_cycle = per_col.first_mac_cycle
     stats.last_mac_cycle = max(
         stats.cycles - _MAC_TAIL[(variant, index_bits)], 0)
+    return stats
+
+
+# -- sparse-sparse (intersection / SpGEMM) models ---------------------------
+#
+# Constants below are least-squares fits of the assembled kernels'
+# structure against the cycle-stepped simulator (the same methodology
+# as the sparse-dense constants above):
+#
+# - the scalar merge loop costs 7 cycles per advancing step and 13
+#   (BASE) / 11 (SSR: no value load) per matching step;
+# - the intersection unit merges at ONE comparison per cycle; the ISSR
+#   kernels run it twice (count pass + stream pass), and the stream
+#   pass is bounded below by the FMA dependency chain (FPU_LATENCY = 4
+#   cycles per matched pair, single-accumulator chain);
+# - the SSR variants drain unconsumed A-value stream elements at one
+#   pop per cycle (exposed when the b side exhausts early);
+# - SpGEMM per-row costs split into the zero / accumulate / gather
+#   phases; the ISSR variant's streamed phases run at the shared-port
+#   rates (~1.5 cycles per flop at 32-bit, ~1.2 at 16-bit).
+
+#: Per-merge-step costs of the scalar merge loop: (advance, match).
+_MERGE_STEP = {BASE: (7.0, 13.0), SSR: (7.0, 11.0)}
+#: Fixed setup of the masked SpVV program.
+_MASKED_SPVV_FIXED = {BASE: 8, SSR: 19, ISSR: 24}
+#: Empty-operand masked SpVV cost (guard branches + store).
+_MASKED_SPVV_EMPTY = 5
+#: Masked CsrMV: (program fixed, per-nonempty-row, per-empty-row).
+_MASKED_MV_ROW = {BASE: (8, 19.0, 10.0), SSR: (8, 21.0, 10.0),
+                  ISSR: (34, 23.0, 10.0)}
+#: Masked CsrMV fast path when x has no nonzeros: fixed + per-row.
+_MASKED_MV_XEMPTY = {BASE: (16, 10.0), SSR: (21, 10.0), ISSR: (19, 10.0)}
+#: ISSR masked rows with matches overlap the row scalars with the
+#: queued next count pass; fitted correction per streaming row.
+_MASKED_MV_STREAM_OVERLAP = 13.0
+#: FMA dependency-chain latency bounding the ISSR stream pass.
+_CHAIN_LATENCY = 4.0
+
+#: SpGEMM cost vectors: {(variant, bits): (fixed, per pattern row,
+#: per empty-pattern row, per output nonzero, per A element, per
+#: nonempty B-row visit, per flop)}. 16-bit scalar variants match the
+#: 32-bit ones (identical instruction counts).
+_SPGEMM_COST = {
+    (BASE, 32): (7, 19.0, 18.0, 16.0, 12.0, 6.0, 10.0),
+    (BASE, 16): (7, 19.0, 18.0, 16.0, 12.0, 6.0, 10.0),
+    (SSR, 32): (11, 19.0, 18.0, 16.0, 12.0, 8.0, 9.0),
+    (SSR, 16): (11, 19.0, 18.0, 16.0, 12.0, 8.0, 9.0),
+    (ISSR, 32): (31, 24.0, 17.0, 3.0, 20.0, 3.75, 1.5),
+    (ISSR, 16): (38, 23.0, 17.0, 2.5, 21.5, 2.9, 1.22),
+}
+
+
+def masked_spvv_cycles(profile, na, nb, variant, index_bits):
+    """Predicted masked-SpVV cycles for one merge profile."""
+    if na == 0 or nb == 0:
+        return _MASKED_SPVV_EMPTY
+    steps, matches = profile.steps, profile.matches
+    fixed = _MASKED_SPVV_FIXED[variant]
+    if variant == ISSR:
+        stream = max(steps, _CHAIN_LATENCY * matches) if matches else 0
+        return int(fixed + steps + stream)
+    adv, match = _MERGE_STEP[variant]
+    cycles = fixed + adv * (steps - matches) + match * matches
+    if variant == SSR:
+        cycles += na - profile.consumed_a  # exposed stream drain
+    return int(math.ceil(cycles))
+
+
+def masked_spvv_stats(profile, na, nb, variant, index_bits):
+    """Predicted :class:`RunStats` for a single-CC masked SpVV run."""
+    stats = RunStats(cycles=masked_spvv_cycles(profile, na, nb, variant,
+                                               index_bits))
+    m = profile.matches
+    stats.fpu_mac_ops = m
+    stats.fpu_compute_ops = m
+    stats.fpu_issued_ops = m + 2
+    stats.retired = stats.cycles
+    idx_bytes = index_bits // 8
+    stats.mem_reads = profile.consumed_a + profile.consumed_b + 2 * m
+    stats.mem_writes = 1
+    if m:
+        stats.first_mac_cycle = _MASKED_SPVV_FIXED[variant] + 5
+        stats.last_mac_cycle = max(stats.cycles - 6, 0)
+    if variant == ISSR:
+        idx_words = ((profile.consumed_a * idx_bytes + 7) // 8
+                     + (profile.consumed_b * idx_bytes + 7) // 8)
+        stats.lanes["isect"] = LaneStats(elements_read=m, mem_reads=m,
+                                         idx_reads=2 * idx_words)
+    elif variant == SSR:
+        stats.lanes["ssr"] = LaneStats(elements_read=na, mem_reads=na)
+    return stats
+
+
+def masked_csrmv_cycles(profiles, row_lengths, nnz_x, variant, index_bits):
+    """Predicted masked-CsrMV cycles.
+
+    ``profiles`` holds one :class:`~repro.core.intersect.MergeProfile`
+    per *nonempty* row (in row order); ``row_lengths`` the per-row
+    nonzero counts of the matrix.
+    """
+    row_lengths = np.asarray(row_lengths, dtype=np.int64)
+    nrows = len(row_lengths)
+    if nrows == 0:
+        return 4
+    if nnz_x == 0:
+        fixed, per_row = _MASKED_MV_XEMPTY[variant]
+        return int(fixed + per_row * nrows)
+    n_empty = int(np.count_nonzero(row_lengths == 0))
+    fixed, per_row, per_empty = _MASKED_MV_ROW[variant]
+    cycles = fixed + per_empty * n_empty + per_row * (nrows - n_empty)
+    for p in profiles:
+        if variant == ISSR:
+            cycles += p.steps
+            if p.matches:
+                cycles += max(p.steps, _CHAIN_LATENCY * p.matches) \
+                    - _MASKED_MV_STREAM_OVERLAP
+        else:
+            adv, match = _MERGE_STEP[variant]
+            cycles += adv * (p.steps - p.matches) + match * p.matches
+    if variant == SSR:
+        # exposed stream drains: A values never consumed by the merge
+        consumed = sum(p.consumed_a for p in profiles)
+        cycles += int(row_lengths.sum()) - consumed
+    return int(math.ceil(cycles))
+
+
+def masked_csrmv_stats(profiles, row_lengths, nnz_x, variant, index_bits):
+    """Predicted :class:`RunStats` for a single-CC masked CsrMV run."""
+    row_lengths = np.asarray(row_lengths, dtype=np.int64)
+    stats = RunStats(cycles=masked_csrmv_cycles(profiles, row_lengths,
+                                                nnz_x, variant, index_bits))
+    m = sum(p.matches for p in profiles)
+    ca = sum(p.consumed_a for p in profiles)
+    cb = sum(p.consumed_b for p in profiles)
+    stats.fpu_mac_ops = m
+    stats.fpu_compute_ops = m
+    stats.fpu_issued_ops = m + 2 * len(row_lengths)
+    stats.retired = stats.cycles
+    stats.mem_reads = ca + cb + 2 * m + len(row_lengths) + 1
+    stats.mem_writes = max(len(row_lengths), 1)
+    if m:
+        stats.first_mac_cycle = _MASKED_MV_ROW[variant][0] + 15
+        stats.last_mac_cycle = max(stats.cycles - 8, 0)
+    if variant == ISSR:
+        stats.lanes["isect"] = LaneStats(elements_read=m, mem_reads=m,
+                                         idx_reads=(ca + cb) // 2)
+    elif variant == SSR:
+        nnz = int(row_lengths.sum())
+        stats.lanes["ssr"] = LaneStats(elements_read=nnz, mem_reads=nnz)
+    return stats
+
+
+def spgemm_cycles(n_pattern_rows, n_skip_rows, out_nnz, n_a_elems,
+                  n_b_visits, flops, variant, index_bits):
+    """Predicted SpGEMM numeric-phase cycles from the row structure.
+
+    ``n_pattern_rows``/``n_skip_rows`` split the output rows by
+    empty/nonempty pattern; ``n_a_elems`` counts A nonzeros in pattern
+    rows, ``n_b_visits`` the nonempty B rows they select, and
+    ``flops`` the total multiply-accumulates.
+    """
+    fixed, row, skip, per_z, per_a, per_k, per_f = \
+        _SPGEMM_COST[(variant, index_bits)]
+    return int(math.ceil(fixed + row * n_pattern_rows + skip * n_skip_rows
+                         + per_z * out_nnz + per_a * n_a_elems
+                         + per_k * n_b_visits + per_f * flops))
+
+
+def spgemm_stats(n_pattern_rows, n_skip_rows, out_nnz, n_a_elems,
+                 n_b_visits, flops, variant, index_bits):
+    """Predicted :class:`RunStats` for a single-CC SpGEMM run."""
+    stats = RunStats(cycles=spgemm_cycles(
+        n_pattern_rows, n_skip_rows, out_nnz, n_a_elems, n_b_visits,
+        flops, variant, index_bits))
+    stats.fpu_mac_ops = flops
+    stats.fpu_compute_ops = flops
+    stats.fpu_issued_ops = flops + 2 * out_nnz + n_a_elems
+    stats.retired = stats.cycles
+    idx_bytes = index_bits // 8
+    idx_reads = ((flops + n_a_elems + 2 * out_nnz) * idx_bytes + 7) // 8
+    stats.mem_reads = 2 * flops + n_a_elems * 2 + out_nnz + idx_reads
+    stats.mem_writes = 2 * out_nnz + flops
+    if flops:
+        stats.first_mac_cycle = _SPGEMM_COST[(variant, index_bits)][0] + 20
+        stats.last_mac_cycle = max(stats.cycles - 2 * out_nnz // 3 - 8, 0)
+    if variant == ISSR:
+        stats.lanes["ssr"] = LaneStats(elements_read=flops + out_nnz,
+                                       mem_reads=flops,
+                                       elements_written=out_nnz,
+                                       mem_writes=out_nnz)
+        stats.lanes["issr"] = LaneStats(elements_read=flops + out_nnz,
+                                        mem_reads=flops + out_nnz)
+        stats.lanes["issr2"] = LaneStats(elements_written=flops + out_nnz,
+                                         mem_writes=flops + out_nnz)
     return stats
 
 

@@ -26,6 +26,9 @@ REG_STRIDE_2 = 8
 REG_STRIDE_3 = 9
 REG_IDX_CFG = 10    # bit 0: index size (0 = 16-bit, 1 = 32-bit); bits 4..8: extra shift
 REG_DATA_BASE = 11  # indirection data base address
+REG_IDX_BASE_B = 12   # intersection: second (b-side) index array base
+REG_DATA_BASE_B = 13  # intersection: second (b-side) value array base
+REG_MATCH_COUNT = 14  # read-only: matches found by the last intersection job
 
 REG_RPTR_0 = 16     # launch affine read, 1..4 dimensions
 REG_RPTR_1 = 17
@@ -37,6 +40,8 @@ REG_WPTR_2 = 22
 REG_WPTR_3 = 23
 REG_IRPTR = 24      # launch indirect read (value = index array address)
 REG_IWPTR = 25      # launch indirect write
+REG_ISECT_CNT = 26  # launch intersection count pass (value = a-side index base)
+REG_ISECT_STR = 27  # launch intersection stream pass (value = a-side index base)
 
 LANE_WINDOW = 32
 
@@ -45,6 +50,8 @@ AFFINE_READ = "affine_read"
 AFFINE_WRITE = "affine_write"
 INDIRECT_READ = "indirect_read"
 INDIRECT_WRITE = "indirect_write"
+INTERSECT_COUNT = "isect_count"
+INTERSECT_STREAM = "isect_stream"
 
 #: Index size codes for REG_IDX_CFG bit 0.
 IDX_SIZE_16 = 0
@@ -75,10 +82,12 @@ class SsrJob:
     """A snapshot of the shadow configuration bound to one stream job."""
 
     __slots__ = ("mode", "dims", "start", "bounds", "strides", "repeat",
-                 "index_bits", "extra_shift", "data_base")
+                 "index_bits", "extra_shift", "data_base", "idx_base_b",
+                 "data_base_b")
 
     def __init__(self, mode, dims, start, bounds, strides, repeat=1,
-                 index_bits=32, extra_shift=0, data_base=0):
+                 index_bits=32, extra_shift=0, data_base=0, idx_base_b=0,
+                 data_base_b=0):
         if repeat < 1:
             raise ConfigError(f"repeat must be >= 1, got {repeat}")
         if not 1 <= dims <= 4:
@@ -95,10 +104,17 @@ class SsrJob:
         self.index_bits = index_bits
         self.extra_shift = extra_shift
         self.data_base = data_base
+        self.idx_base_b = idx_base_b
+        self.data_base_b = data_base_b
 
     @property
     def is_indirect(self):
         return self.mode in (INDIRECT_READ, INDIRECT_WRITE)
+
+    @property
+    def is_intersect(self):
+        """True for intersection (count/stream) jobs."""
+        return self.mode in (INTERSECT_COUNT, INTERSECT_STREAM)
 
     @property
     def is_write(self):
@@ -120,7 +136,8 @@ class SsrJob:
 class ShadowConfig:
     """The writable shadow configuration of one lane."""
 
-    __slots__ = ("repeat", "bounds", "strides", "idx_cfg", "data_base")
+    __slots__ = ("repeat", "bounds", "strides", "idx_cfg", "data_base",
+                 "idx_base_b", "data_base_b")
 
     def __init__(self):
         self.repeat = 1
@@ -128,6 +145,8 @@ class ShadowConfig:
         self.strides = [8, 0, 0, 0]
         self.idx_cfg = IDX_SIZE_32
         self.data_base = 0
+        self.idx_base_b = 0
+        self.data_base_b = 0
 
     @property
     def index_bits(self):
@@ -139,11 +158,17 @@ class ShadowConfig:
 
     def snapshot(self, mode, dims, start):
         """Create an :class:`SsrJob` from the current shadow state."""
-        if mode in (INDIRECT_READ, INDIRECT_WRITE):
+        if mode in (INDIRECT_READ, INDIRECT_WRITE, INTERSECT_COUNT,
+                    INTERSECT_STREAM):
             # Indirection fixes the affine iterator to a 1-D walk of the
             # index array (§II-A): bounds[0] = element count; the stride
             # is the index element size, handled by the serializer.
+            # Intersection jobs additionally carry the b-side element
+            # count in bounds[1] and the b-side bases in the dedicated
+            # shadow registers.
             dims = 1
         return SsrJob(mode, dims, start, self.bounds, self.strides,
                       repeat=self.repeat, index_bits=self.index_bits,
-                      extra_shift=self.extra_shift, data_base=self.data_base)
+                      extra_shift=self.extra_shift, data_base=self.data_base,
+                      idx_base_b=self.idx_base_b,
+                      data_base_b=self.data_base_b)

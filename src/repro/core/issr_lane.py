@@ -18,7 +18,7 @@ Indirect *writes* turn the lane into a streaming scatter unit (§III-C).
 from repro.core.config import INDIRECT_WRITE
 from repro.core.lane import JOB_QUEUE_DEPTH, SsrLane
 from repro.core.serializer import IndexSerializer
-from repro.errors import SimulationError
+from repro.errors import ConfigError, SimulationError
 from repro.utils.fifo import Fifo
 
 #: 64-bit index words buffered ahead of the serializer.
@@ -56,6 +56,9 @@ class IssrLane(SsrLane):
     # -- job control ----------------------------------------------------
 
     def enqueue(self, job):
+        if job.is_intersect:
+            raise ConfigError(
+                f"{self.name}: intersection jobs need an IntersectLane")
         running = 1 if self._job_active() else 0
         if len(self._jobs) + running > JOB_QUEUE_DEPTH:
             return False

@@ -49,8 +49,8 @@ class SsrLane:
 
     def enqueue(self, job):
         """Queue a job; returns False (caller must retry) when full."""
-        if job.is_indirect:
-            raise ConfigError(f"{self.name}: plain SSR lane cannot run indirect jobs")
+        if job.is_indirect or job.is_intersect:
+            raise ConfigError(f"{self.name}: plain SSR lane cannot run {job.mode} jobs")
         running = 1 if (self._iter is not None and not self._iter.done) else 0
         if len(self._jobs) + running > JOB_QUEUE_DEPTH:
             return False

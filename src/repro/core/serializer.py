@@ -27,7 +27,8 @@ class IndexSerializer:
                  "_mask", "_slot", "_word", "_have_word", "emitted",
                  "first_word_addr", "words_needed")
 
-    def __init__(self, idx_base, count, index_bits, data_base, extra_shift=0):
+    def __init__(self, idx_base, count, index_bits, data_base, extra_shift=0,
+                 raw=False):
         if index_bits not in (16, 32):
             raise ConfigError(f"unsupported index width {index_bits}")
         idx_bytes = index_bits // 8
@@ -37,7 +38,9 @@ class IndexSerializer:
             )
         self.index_bits = index_bits
         self.data_base = data_base
-        self.shift = 3 + extra_shift
+        # raw mode (intersection unit): emit the extracted index itself
+        # instead of a shifted data address.
+        self.shift = 0 if raw else 3 + extra_shift
         self.count = count
         self._per_word = WORD_BYTES * 8 // index_bits
         self._mask = field_mask(index_bits)
@@ -69,6 +72,13 @@ class IndexSerializer:
             raise ConfigError(f"index word must be an integer, got {word!r}")
         self._word = word
         self._have_word = True
+
+    @property
+    def head_index(self):
+        """The next index, without consuming it (requires a word)."""
+        if not self._have_word:
+            raise ConfigError("head_index read without a buffered word")
+        return (self._word >> (self._slot * self.index_bits)) & self._mask
 
     def next_address(self):
         """Emit the next data address; requires a buffered word."""

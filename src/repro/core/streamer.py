@@ -16,12 +16,19 @@ from repro.core.config import (
     AFFINE_WRITE,
     INDIRECT_READ,
     INDIRECT_WRITE,
+    INTERSECT_COUNT,
+    INTERSECT_STREAM,
     LANE_WINDOW,
     REG_BOUND_0,
     REG_DATA_BASE,
+    REG_DATA_BASE_B,
+    REG_IDX_BASE_B,
     REG_IDX_CFG,
     REG_IRPTR,
+    REG_ISECT_CNT,
+    REG_ISECT_STR,
     REG_IWPTR,
+    REG_MATCH_COUNT,
     REG_REPEAT,
     REG_RPTR_0,
     REG_RPTR_3,
@@ -79,6 +86,10 @@ class Streamer:
             shadow.idx_cfg = value
         elif reg == REG_DATA_BASE:
             shadow.data_base = value
+        elif reg == REG_IDX_BASE_B:
+            shadow.idx_base_b = value
+        elif reg == REG_DATA_BASE_B:
+            shadow.data_base_b = value
         elif REG_RPTR_0 <= reg <= REG_RPTR_3:
             return lane.enqueue(shadow.snapshot(AFFINE_READ, reg - REG_RPTR_0 + 1, value))
         elif REG_WPTR_0 <= reg <= REG_WPTR_3:
@@ -87,6 +98,10 @@ class Streamer:
             return lane.enqueue(shadow.snapshot(INDIRECT_READ, 1, value))
         elif reg == REG_IWPTR:
             return lane.enqueue(shadow.snapshot(INDIRECT_WRITE, 1, value))
+        elif reg == REG_ISECT_CNT:
+            return lane.enqueue(shadow.snapshot(INTERSECT_COUNT, 1, value))
+        elif reg == REG_ISECT_STR:
+            return lane.enqueue(shadow.snapshot(INTERSECT_STREAM, 1, value))
         else:
             raise ConfigError(f"write to unknown/read-only config register {reg}")
         return True
@@ -106,6 +121,16 @@ class Streamer:
             return shadow.idx_cfg
         if reg == REG_DATA_BASE:
             return shadow.data_base
+        if reg == REG_IDX_BASE_B:
+            return shadow.idx_base_b
+        if reg == REG_DATA_BASE_B:
+            return shadow.data_base_b
+        if reg == REG_MATCH_COUNT:
+            count = getattr(lane, "match_count", None)
+            if count is None:
+                raise ConfigError(
+                    f"lane {lane_idx} has no intersection match counter")
+            return count
         raise ConfigError(f"read of unknown config register {reg}")
 
     def _lane_cfg(self, lane_idx):

@@ -22,8 +22,27 @@ import sys
 import time
 
 from repro.backends import BACKENDS
-from repro.eval.experiments import EXPERIMENTS, run_all, run_experiment
+from repro.eval.experiments import (
+    DESCRIPTIONS,
+    EXPERIMENTS,
+    run_all,
+    run_experiment,
+)
 from repro.eval.parallel import ParallelRunner
+
+
+def _epilog():
+    """The experiment catalog, generated from the registry.
+
+    Every registered experiment shows up in ``--help`` automatically —
+    no hand-maintained list to go stale when one is added.
+    """
+    width = max(len(eid) for eid in EXPERIMENTS)
+    lines = ["experiments:"]
+    for eid in EXPERIMENTS:
+        desc = DESCRIPTIONS.get(eid, "(no description registered)")
+        lines.append(f"  {eid.ljust(width)}  {desc}")
+    return "\n".join(lines)
 
 
 def _positive_int(text):
@@ -45,9 +64,11 @@ def main(argv=None):
     parser = argparse.ArgumentParser(
         prog="python -m repro.eval",
         description="Regenerate the ISSR paper's figures and claims.",
+        epilog=_epilog(),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     parser.add_argument("experiments", nargs="*", metavar="EXP",
-                        help=f"experiment ids ({', '.join(EXPERIMENTS)}); "
+                        help="experiment ids (see the catalog below); "
                              "default: all")
     parser.add_argument("--full", action="store_true",
                         help="full-fidelity workloads (slow; default quick)")

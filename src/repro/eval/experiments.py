@@ -10,7 +10,16 @@ Kernel-running experiments accept a ``backend=`` selector ("cycle" or
 their points out over worker processes with on-disk caching.
 """
 
-from repro.eval import claims, fig4a, fig4b, fig4c, fig4d, scaling, static_models
+from repro.eval import (
+    claims,
+    fig4a,
+    fig4b,
+    fig4c,
+    fig4d,
+    scaling,
+    sparse_sparse,
+    static_models,
+)
 
 #: Quick-mode knobs keep the full suite runnable in minutes.
 QUICK = {
@@ -21,13 +30,33 @@ QUICK = {
     "E8": dict(nnz=2048, npr=128),
     "E10": dict(),
     "scaling": dict(),
+    "sparse_sparse": dict(nnz=256, spgemm_n=48),
 }
 
 #: Experiments that execute kernels and honor ``backend=``.
 BACKEND_AWARE = frozenset({"E1", "E2", "E3", "E4", "E8", "E9", "E10",
-                           "scaling"})
+                           "scaling", "sparse_sparse"})
 #: Sweep-shaped experiments that honor ``runner=`` point fan-out.
-PARALLEL_AWARE = frozenset({"E1", "E2", "E3", "E4", "E9", "scaling"})
+PARALLEL_AWARE = frozenset({"E1", "E2", "E3", "E4", "E9", "scaling",
+                            "sparse_sparse"})
+
+#: One-line summaries rendered into the CLI ``--help`` epilog (keep in
+#: sync with :data:`EXPERIMENTS`; enforced by
+#: ``tests/test_sparse_sparse.py::test_descriptions_cover_the_whole_registry``).
+DESCRIPTIONS = {
+    "E1": "Fig. 4a — single-CC SpVV FPU utilization vs nonzero count",
+    "E2": "Fig. 4b — single-CC CsrMV utilization vs row density",
+    "E3": "Fig. 4c — 8-core cluster CsrMV utilization (double-buffered)",
+    "E4": "Fig. 4d — CsrMV speedups over BASE across the matrix set",
+    "E5": "Table I — ISSR lane area breakdown (static model)",
+    "E6": "timing/frequency static model",
+    "E8": "paper headline claims (speedup/utilization) on one CC",
+    "E9": "related-work comparison derived from E3's utilization",
+    "E10": "CsrMM column-loop claim",
+    "scaling": "E11 — multi-cluster strong/weak scaling per partitioner",
+    "sparse_sparse": "E12 — sparse-sparse (masked SpVV / SpGEMM) "
+                     "speedup vs match density",
+}
 
 
 def _run_related_from_e3(e3_result=None, **kwargs):
@@ -53,6 +82,9 @@ EXPERIMENTS = {
     # E11: multi-cluster strong/weak scaling (defaults to the fast
     # backend — an analytic-model sweep; "scaling" is its CLI name).
     "scaling": scaling.run,
+    # E12: sparse-sparse kernel family (masked SpVV / SpGEMM) swept
+    # over match density; "sparse_sparse" is its CLI name.
+    "sparse_sparse": sparse_sparse.run,
 }
 
 

@@ -30,8 +30,11 @@ DEFAULT_CACHE_DIR = ".repro-cache"
 #: meaning of a point's parameters) changes so stale entries can never
 #: be served — e.g. v2 added the canonical parameter encoding when the
 #: multi-cluster sweeps introduced cluster-count / partitioner / HBM
-#: parameters that must distinguish otherwise-identical points.
-KEY_SCHEMA = 2
+#: parameters that must distinguish otherwise-identical points; v3
+#: accompanies the sparse-sparse (E12) point family, whose parameters
+#: (match density, pair distribution, check kind) and two-backend
+#: cross-check results must never collide with older entries.
+KEY_SCHEMA = 3
 
 _code_version = None
 

@@ -7,6 +7,11 @@ tensors (§III-A). This package implements each format plus Matrix Market
 I/O for interoperability with SuiteSparse files.
 """
 
+from repro.formats.builder import (
+    CsrBuilder,
+    spgemm_pattern,
+    spgemm_row_upper_bound,
+)
 from repro.formats.csc import CscMatrix
 from repro.formats.csf import CsfTensor
 from repro.formats.csr import CsrMatrix
@@ -19,6 +24,9 @@ __all__ = [
     "CsrMatrix",
     "CscMatrix",
     "CsfTensor",
+    "CsrBuilder",
+    "spgemm_pattern",
+    "spgemm_row_upper_bound",
     "read_matrix_market",
     "write_matrix_market",
     "convert",

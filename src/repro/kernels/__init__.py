@@ -10,6 +10,13 @@ from repro.kernels.gather import (
     run_scatter,
     run_transpose_scatter,
 )
+from repro.kernels.masked import (
+    build_masked_csrmv,
+    build_masked_spvv,
+    run_masked_csrmv,
+    run_masked_spvv,
+)
+from repro.kernels.spgemm import build_spgemm, run_spgemm
 from repro.kernels.spvv import build_spvv, run_spvv
 from repro.kernels.stencil import run_stencil
 
@@ -25,6 +32,12 @@ __all__ = [
     "run_csrmv",
     "build_csrmm",
     "run_csrmm",
+    "build_masked_spvv",
+    "run_masked_spvv",
+    "build_masked_csrmv",
+    "run_masked_csrmv",
+    "build_spgemm",
+    "run_spgemm",
     "run_gather",
     "run_scatter",
     "run_densify",

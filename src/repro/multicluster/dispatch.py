@@ -14,7 +14,11 @@ results back into the global result. Supported kernels:
   lowered to CsrMV (one fiber per row, §III-B) and sharded the same
   way, both backends;
 - ``csrmm`` — fast backend only (there is no cycle-level cluster
-  CsrMM runtime to validate against yet).
+  CsrMM runtime to validate against yet);
+- ``spgemm`` — sparse-sparse CSR x CSR (fast backend only): A's rows
+  shard through the same partitioners, B broadcasts whole through the
+  HBM model, and the combine stays a pure row scatter
+  (:meth:`~repro.multicluster.partition.Partition.combine_sparse`).
 """
 
 import numpy as np
@@ -26,12 +30,13 @@ from repro.multicluster.hbm import HbmConfig
 from repro.multicluster.model import (
     multicluster_csrmm_fast,
     multicluster_csrmv_fast,
+    multicluster_spgemm_fast,
 )
 from repro.multicluster.partition import fibers_to_csr, get_partitioner
 from repro.multicluster.runtime import run_multicluster_cycle
 
 #: Kernels the multi-cluster layer can shard.
-MULTICLUSTER_KERNELS = ("csrmv", "csrmm", "spvv_batch")
+MULTICLUSTER_KERNELS = ("csrmv", "csrmm", "spvv_batch", "spgemm")
 
 
 def run_multicluster(operand, dense, kernel="csrmv", n_clusters=8,
@@ -74,6 +79,23 @@ def run_multicluster(operand, dense, kernel="csrmv", n_clusters=8,
     partition = get_partitioner(partitioner)(matrix, n_clusters)
 
     tcdm_words = tcdm_bytes // 8
+    if kernel == "spgemm":
+        # A's rows shard; B broadcasts whole (like CsrMM's dense B) —
+        # modeled analytically, like csrmm (no cycle-level cluster
+        # SpGEMM runtime to validate against yet).
+        if backend_name != "fast":
+            raise ConfigError(
+                "multicluster spgemm is modeled analytically; "
+                "run it with backend='fast'"
+            )
+        stats, c = multicluster_spgemm_fast(
+            partition, dense, variant, index_bits, hbm=hbm,
+            n_workers=n_workers, tcdm_words=tcdm_words)
+        if check:
+            expect = matrix.to_dense() @ dense.to_dense()
+            _check(c.to_dense(), expect, kernel, variant, index_bits)
+        return stats, c
+
     if kernel == "csrmm":
         if backend_name != "fast":
             raise ConfigError(

@@ -142,6 +142,39 @@ class Partition:
                 out[shard.rows] = part
         return out
 
+    def combine_sparse(self, parts, ncols):
+        """Scatter per-cluster CSR results into one global CSR matrix.
+
+        The sparse-output analogue of :meth:`combine` (used by the
+        multi-cluster SpGEMM): ``parts`` holds one
+        :class:`~repro.formats.csr.CsrMatrix` per shard whose rows map
+        back through ``shard.rows``. Pure row movement — no arithmetic
+        — so the combined matrix is bit-identical to a single-cluster
+        run.
+        """
+        from repro.formats.csr import CsrMatrix
+
+        if len(parts) != len(self.shards):
+            raise ConfigError(
+                f"combine expects {len(self.shards)} parts, got {len(parts)}"
+            )
+        lengths = np.zeros(self.nrows, dtype=np.int64)
+        for shard, part in zip(self.shards, parts):
+            if shard.nrows:
+                lengths[shard.rows] = part.row_lengths()
+        ptr = np.zeros(self.nrows + 1, dtype=np.int64)
+        np.cumsum(lengths, out=ptr[1:])
+        idcs = np.empty(int(ptr[-1]), dtype=np.int64)
+        vals = np.empty(int(ptr[-1]), dtype=np.float64)
+        for shard, part in zip(self.shards, parts):
+            if not shard.nrows:
+                continue
+            for i, r in enumerate(shard.rows):
+                lo, hi = int(part.ptr[i]), int(part.ptr[i + 1])
+                idcs[ptr[r]:ptr[r + 1]] = part.idcs[lo:hi]
+                vals[ptr[r]:ptr[r + 1]] = part.vals[lo:hi]
+        return CsrMatrix(ptr, idcs, vals, (self.nrows, ncols))
+
     def combine_cycles(self, hbm, result_words=None):
         """Modeled merge cost: gather every shard's result region.
 

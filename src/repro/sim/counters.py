@@ -101,8 +101,9 @@ def collect_cc_stats(cc, cycles, start_cycle=0):
             idx_reads=getattr(lane, "idx_reads", 0),
             active_cycles=lane.active_cycles,
         )
-    stats.mem_reads = cc.port_issr.reads + cc.port_shared.reads
-    stats.mem_writes = cc.port_issr.writes + cc.port_shared.writes
+    ports = getattr(cc, "data_ports", None) or [cc.port_issr, cc.port_shared]
+    stats.mem_reads = sum(p.reads for p in ports)
+    stats.mem_writes = sum(p.writes for p in ports)
     if hasattr(cc.icache, "misses"):
         stats.icache_misses = cc.icache.misses
     return stats

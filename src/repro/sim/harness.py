@@ -23,13 +23,15 @@ class SingleCC:
     """One core complex on ideal two-port data memory."""
 
     def __init__(self, mem_bytes=DEFAULT_MEM_BYTES, watchdog=100000,
-                 fifo_depth=None, branch_penalty=None, three_port=False):
+                 fifo_depth=None, branch_penalty=None, three_port=False,
+                 lane_config="default"):
         self.engine = Engine(watchdog=watchdog)
         self.memory = IdealMemory(self.engine, mem_bytes, name="dmem")
         self.cc = CoreComplex(self.engine, self.memory, name="cc0",
                               fifo_depth=fifo_depth,
                               branch_penalty=branch_penalty,
-                              three_port=three_port)
+                              three_port=three_port,
+                              lane_config=lane_config)
         self.cc.register()
         self.engine.add(self.memory)
 

@@ -1,14 +1,28 @@
 """The Snitch core complex (CC): core + FPU subsystem + ISSR streamer.
 
-Wires one integer core, its FPU subsystem, and the two-lane streamer
-(one SSR + one ISSR) to two memory ports with the paper's topology
-(§II-C): "providing an exclusive port to the ISSR while combining the
-core, FPU, and SSR requests into another".
+Wires one integer core, its FPU subsystem, and the stream lanes to
+memory ports with the paper's topology (§II-C): "providing an
+exclusive port to the ISSR while combining the core, FPU, and SSR
+requests into another".
+
+Three lane configurations are supported (the streamer "could combine
+any number of either given sufficient memory ports"):
+
+- ``"default"`` — one SSR (ft0) + one ISSR (ft1), the paper's §II-C
+  topology used by all sparse-dense kernels;
+- ``"dual_issr"`` — SSR (ft0) + two ISSRs (ft1 read / ft2 write) on
+  separate ports, the scatter-gather pair the SpGEMM accumulate loop
+  needs for its read-modify-write of the dense TCDM accumulator;
+- ``"intersect"`` — one :class:`~repro.core.intersect.IntersectLane`
+  (matched a values on ft0, matched b values on ft1), one memory port
+  per operand side, for the sparse-sparse masked kernels.
 """
 
+from repro.core.intersect import IntersectLane
 from repro.core.issr_lane import IssrLane
 from repro.core.lane import SsrLane
 from repro.core.streamer import Streamer
+from repro.errors import ConfigError
 from repro.mem.ports import SharedPort
 from repro.snitch.core import SnitchCore
 from repro.snitch.fpu import FpuSubsystem
@@ -19,14 +33,23 @@ SLOT_CORE = 0
 SLOT_FPU = 1
 SLOT_SSR = 2
 
+#: Supported streamer lane configurations.
+LANE_CONFIGS = ("default", "dual_issr", "intersect")
+
 
 class CoreComplex:
     """One worker CC with its streamer and memory ports."""
 
     def __init__(self, engine, memory, icache=None, name="cc",
-                 fifo_depth=None, branch_penalty=None, three_port=False):
+                 fifo_depth=None, branch_penalty=None, three_port=False,
+                 lane_config="default"):
+        if lane_config not in LANE_CONFIGS:
+            raise ConfigError(
+                f"unknown lane_config {lane_config!r}; expected one of "
+                f"{LANE_CONFIGS}")
         self.engine = engine
         self.name = name
+        self.lane_config = lane_config
 
         self.port_issr = memory.new_port(f"{name}.issr")
         self.port_shared = memory.new_port(f"{name}.shared")
@@ -34,14 +57,38 @@ class CoreComplex:
         # §II-B alternative: a third port dedicates a channel to index
         # fetches, removing the RR mux and its 4/5 / 2/3 rate cap.
         self.port_idx = memory.new_port(f"{name}.idx") if three_port else None
+        self.data_ports = [self.port_issr, self.port_shared]
+        if self.port_idx is not None:
+            self.data_ports.append(self.port_idx)
 
         lane_kwargs = {} if fifo_depth is None else {"fifo_depth": fifo_depth}
-        self.ssr_lane = SsrLane(engine, self.shared.slot(SLOT_SSR),
-                                lane_id=0, name=f"{name}.ssr", **lane_kwargs)
-        self.issr_lane = IssrLane(engine, self.port_issr,
-                                  lane_id=1, name=f"{name}.issr",
-                                  idx_port=self.port_idx, **lane_kwargs)
-        self.streamer = Streamer(engine, [self.ssr_lane, self.issr_lane],
+        self.ssr_lane = None
+        self.issr_lane = None
+        self.issr_lane2 = None
+        self.isect = None
+        if lane_config == "intersect":
+            port_a = memory.new_port(f"{name}.isect_a")
+            port_b = memory.new_port(f"{name}.isect_b")
+            self.data_ports += [port_a, port_b]
+            self.isect = IntersectLane(engine, port_a, port_b,
+                                       name=f"{name}.isect")
+            lanes = [self.isect, self.isect.partner]
+        else:
+            self.ssr_lane = SsrLane(engine, self.shared.slot(SLOT_SSR),
+                                    lane_id=0, name=f"{name}.ssr",
+                                    **lane_kwargs)
+            self.issr_lane = IssrLane(engine, self.port_issr,
+                                      lane_id=1, name=f"{name}.issr",
+                                      idx_port=self.port_idx, **lane_kwargs)
+            lanes = [self.ssr_lane, self.issr_lane]
+            if lane_config == "dual_issr":
+                port_issr2 = memory.new_port(f"{name}.issr2")
+                self.data_ports.append(port_issr2)
+                self.issr_lane2 = IssrLane(engine, port_issr2, lane_id=2,
+                                           name=f"{name}.issr2",
+                                           **lane_kwargs)
+                lanes.append(self.issr_lane2)
+        self.streamer = Streamer(engine, lanes,
                                  name=f"{name}.streamer")
 
         self.fpu = FpuSubsystem(engine, self.shared.slot(SLOT_FPU),

@@ -21,6 +21,7 @@ from repro.workloads.synthetic import (
     random_csr,
     random_dense_matrix,
     random_dense_vector,
+    random_fiber_pair,
     random_sparse_vector,
 )
 
@@ -43,5 +44,6 @@ __all__ = [
     "random_csr",
     "random_dense_matrix",
     "random_dense_vector",
+    "random_fiber_pair",
     "random_sparse_vector",
 ]

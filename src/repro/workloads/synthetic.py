@@ -47,6 +47,57 @@ def random_sparse_vector(dim, nnz, seed=None):
     return SparseFiber(idcs, vals, dim=dim)
 
 
+def random_fiber_pair(dim, nnz_a, nnz_b, match_density, seed=None,
+                      distribution="uniform", alpha=1.3):
+    """Two sparse fibers with a controlled index-set overlap.
+
+    ``match_density`` is the fraction of the smaller fiber's indices
+    shared with the other (the sparse-sparse kernels' *match density*:
+    matched pairs = ``round(match_density * min(nnz_a, nnz_b))``).
+    ``distribution`` picks the index law: ``uniform``, or ``powerlaw``
+    (Zipf-like weight ``1/(i+1)**alpha`` — both fibers concentrate on
+    low indices, the clustered-overlap regime of graph workloads).
+    """
+    if nnz_a > dim or nnz_b > dim:
+        raise FormatError(
+            f"cannot place {max(nnz_a, nnz_b)} nonzeros in dimension {dim}")
+    if not 0.0 <= match_density <= 1.0:
+        raise FormatError(f"match density {match_density} outside [0, 1]")
+    rng = make_rng(seed)
+    if distribution == "powerlaw":
+        weights = 1.0 / np.power(np.arange(1, dim + 1, dtype=np.float64),
+                                 alpha)
+        weights /= weights.sum()
+    elif distribution == "uniform":
+        weights = None
+    else:
+        raise FormatError(
+            f"unknown pair distribution {distribution!r}; expected "
+            "'uniform' or 'powerlaw'")
+    a_idcs = np.sort(rng.choice(dim, size=nnz_a, replace=False, p=weights))
+    matches = int(round(match_density * min(nnz_a, nnz_b)))
+    shared = rng.choice(a_idcs, size=matches, replace=False) if matches \
+        else np.zeros(0, dtype=np.int64)
+    rest = np.setdiff1d(np.arange(dim, dtype=np.int64), a_idcs,
+                        assume_unique=True)
+    if nnz_b - matches > len(rest):
+        raise FormatError(
+            f"cannot place {nnz_b - matches} unmatched nonzeros outside "
+            f"a {nnz_a}-nonzero fiber in dimension {dim}")
+    # b's unmatched indices follow the same index law as a's, so both
+    # fibers concentrate on low indices in the powerlaw regime
+    rest_weights = None
+    if weights is not None:
+        rest_weights = weights[rest]
+        rest_weights /= rest_weights.sum()
+    disjoint = rng.choice(rest, size=nnz_b - matches, replace=False,
+                          p=rest_weights)
+    b_idcs = np.sort(np.concatenate([shared, disjoint]).astype(np.int64))
+    fiber_a = SparseFiber(a_idcs, rng.standard_normal(nnz_a), dim=dim)
+    fiber_b = SparseFiber(b_idcs, rng.standard_normal(nnz_b), dim=dim)
+    return fiber_a, fiber_b
+
+
 def random_csr(nrows, ncols, nnz, distribution="uniform", seed=None, **kwargs):
     """A random CSR matrix with ``nnz`` total nonzeros.
 

@@ -1,0 +1,107 @@
+"""CSR-output builder: property-based round-trips and SpGEMM symbolics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FormatError
+from repro.formats import CsrBuilder, spgemm_pattern, spgemm_row_upper_bound
+from repro.workloads import random_csr
+
+
+@st.composite
+def random_rowfill(draw):
+    """(nrows, ncols, per-row sorted (idcs, vals)) within capacities."""
+    nrows = draw(st.integers(0, 8))
+    ncols = draw(st.integers(1, 24))
+    rows = []
+    for _ in range(nrows):
+        cols = draw(st.lists(st.integers(0, ncols - 1), unique=True,
+                             max_size=ncols).map(sorted))
+        vals = draw(st.lists(st.floats(-10, 10, allow_nan=False),
+                             min_size=len(cols), max_size=len(cols)))
+        rows.append((cols, vals))
+    return nrows, ncols, rows
+
+
+@given(random_rowfill(), st.integers(0, 4))
+@settings(max_examples=150, deadline=None)
+def test_build_compact_roundtrip(fill, extra_cap):
+    """build() after set_row equals the dense reference, gaps squeezed."""
+    nrows, ncols, rows = fill
+    caps = np.array([len(c) + extra_cap for c, _ in rows] or [0],
+                    dtype=np.int64)[:nrows]
+    builder = CsrBuilder(nrows, ncols, caps if nrows else 0)
+    dense = np.zeros((nrows, ncols))
+    for r, (cols, vals) in enumerate(rows):
+        builder.set_row(r, cols, vals)
+        dense[r, cols] = vals
+    matrix = builder.build()
+    assert matrix.shape == (nrows, ncols)
+    assert matrix.nnz == sum(len(c) for c, _ in rows)
+    np.testing.assert_array_equal(matrix.to_dense(), dense)
+
+
+@given(random_rowfill())
+@settings(max_examples=100, deadline=None)
+def test_append_equals_set_row(fill):
+    nrows, ncols, rows = fill
+    caps = [max(len(c), 1) for c, _ in rows] or [1]
+    b1 = CsrBuilder(nrows, ncols, np.array(caps[:nrows] or [0]))
+    b2 = CsrBuilder(nrows, ncols, np.array(caps[:nrows] or [0]))
+    for r, (cols, vals) in enumerate(rows):
+        b1.set_row(r, cols, vals)
+        for c, v in zip(cols, vals):
+            b2.append(r, c, v)
+    assert b1.build() == b2.build()
+
+
+def test_capacity_and_order_enforced():
+    b = CsrBuilder(2, 8, 2)
+    b.set_row(0, [1, 5], [1.0, 2.0])
+    with pytest.raises(FormatError):
+        b.set_row(1, [0, 1, 2], [1.0, 2.0, 3.0])   # over capacity
+    with pytest.raises(FormatError):
+        b.set_row(1, [5, 1], [1.0, 2.0])           # unsorted
+    b.append(1, 3, 1.5)
+    with pytest.raises(FormatError):
+        b.append(1, 3, 2.5)                        # non-increasing column
+    with pytest.raises(FormatError):
+        b.append(1, 9, 1.0)                        # column out of range
+    b.append(1, 7, 2.5)
+    with pytest.raises(FormatError):
+        b.append(1, 7, 0.0)                        # capacity exhausted
+    m = b.build()
+    assert m.nnz == 4 and m.row(1).nnz == 2
+
+
+def test_row_capacity_clipped_to_ncols():
+    b = CsrBuilder(3, 4, 100)
+    assert b.capacity == 12
+    assert b.row_capacity(0) == 4
+
+
+def test_spgemm_pattern_matches_dense_reference():
+    for seed in range(4):
+        a = random_csr(7, 9, 25, seed=seed)
+        c = random_csr(9, 11, 30, seed=seed + 10)
+        ptr, idcs = spgemm_pattern(a, c)
+        dense = a.to_dense() @ c.to_dense()
+        for r in range(a.nrows):
+            got = set(idcs[ptr[r]:ptr[r + 1]].tolist())
+            # the symbolic pattern is structural: it contains every
+            # numerically-nonzero position (cancellation may add more)
+            want = set(np.nonzero(dense[r])[0].tolist())
+            assert want <= got
+        bound = spgemm_row_upper_bound(a, c)
+        assert np.all(np.diff(ptr) <= bound)
+
+
+def test_spgemm_shape_mismatch_rejected():
+    a = random_csr(4, 5, 6, seed=1)
+    c = random_csr(6, 4, 6, seed=2)
+    with pytest.raises(FormatError):
+        spgemm_pattern(a, c)
+    with pytest.raises(FormatError):
+        spgemm_row_upper_bound(a, c)

@@ -34,6 +34,12 @@ def test_sparse_mlp_inference(capsys):
     assert "speedup" in out
 
 
+def test_spgemm_graph_triangle(capsys):
+    out = run_example("spgemm_graph_triangle", capsys)
+    assert "triangles" in out.lower()
+    assert "both routes agree" in out
+
+
 @pytest.mark.slow
 def test_quickstart(capsys):
     out = run_example("quickstart", capsys)
