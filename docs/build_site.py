@@ -11,7 +11,15 @@ repo-escaping GitHub URL), and runs ``mkdocs build --strict`` so any
 remaining broken link fails the build — the CI docs job runs exactly
 this script.
 
-Usage:  python docs/build_site.py [--no-build]
+The experiments-catalog table in ``docs/experiments.md`` is
+*generated*, not hand-maintained: the block between the
+``experiments-registry`` markers is rendered from
+``repro.eval.experiments.experiment_registry()`` — the same source as
+``python -m repro.eval --list-experiments --json`` — at staging time,
+and ``--sync-registry`` writes the fresh table back into the
+committed page.
+
+Usage:  python docs/build_site.py [--no-build] [--sync-registry]
 """
 
 import re
@@ -28,6 +36,48 @@ ROOT_PAGES = ("README.md", "ROADMAP.md", "CHANGES.md", "PAPER.md",
               "PAPERS.md")
 
 _BADGE = re.compile(r"^.*\.\./\.\./actions/.*$", re.MULTILINE)
+_REGISTRY_BLOCK = re.compile(
+    r"<!-- experiments-registry:begin -->.*"
+    r"<!-- experiments-registry:end -->",
+    re.DOTALL)
+
+
+def registry_table():
+    """Render the experiments-registry markdown table.
+
+    Sourced from the same emitter as
+    ``python -m repro.eval --list-experiments --json``.
+    """
+    sys.path.insert(0, str(REPO / "src"))
+    try:
+        from repro.eval.experiments import experiment_registry
+    finally:
+        sys.path.pop(0)
+    lines = ["| id | experiment | output | claims |",
+             "| --- | --- | --- | --- |"]
+    for entry in experiment_registry():
+        out = f"`{entry['output']}`" if entry["output"] else "—"
+        lines.append(f"| `{entry['id']}` | {entry['name']} | {out} "
+                     f"| {entry['claim_count']} |")
+    return "\n".join(lines)
+
+
+def inject_registry(text):
+    """Replace the marker block in experiments.md with a fresh table."""
+    block = ("<!-- experiments-registry:begin -->\n"
+             + registry_table()
+             + "\n<!-- experiments-registry:end -->")
+    if not _REGISTRY_BLOCK.search(text):
+        raise SystemExit(
+            "docs/experiments.md lost its experiments-registry markers")
+    return _REGISTRY_BLOCK.sub(block, text)
+
+
+def sync_registry():
+    """Rewrite the committed docs/experiments.md registry block."""
+    page = REPO / "docs" / "experiments.md"
+    page.write_text(inject_registry(page.read_text()))
+    return page
 
 
 def _rewrite(text):
@@ -44,7 +94,10 @@ def stage():
         shutil.rmtree(STAGING)
     STAGING.mkdir(parents=True)
     for md in sorted((REPO / "docs").glob("*.md")):
-        (STAGING / md.name).write_text(_rewrite(md.read_text()))
+        text = md.read_text()
+        if md.name == "experiments.md":
+            text = inject_registry(text)
+        (STAGING / md.name).write_text(_rewrite(text))
     for name in ROOT_PAGES:
         (STAGING / name).write_text(_rewrite((REPO / name).read_text()))
     return STAGING
@@ -60,6 +113,10 @@ def build():
 
 def main(argv=None):
     argv = sys.argv[1:] if argv is None else argv
+    if "--sync-registry" in argv:
+        page = sync_registry()
+        print(f"registry table refreshed in {page}")
+        return 0
     stage()
     if "--no-build" in argv:
         print(f"staged {STAGING}")

@@ -25,6 +25,16 @@ Scale-out::
                                 partitioner="nnz_balanced",
                                 backend="fast")
 
+Iterative solvers on the pipeline subsystem::
+
+    from repro.workloads import random_spd_csr, random_dense_vector
+    from repro.solvers import solve_cg
+
+    A = random_spd_csr(256, offdiag_per_row=6, seed=1)
+    res = solve_cg(A, random_dense_vector(256, seed=2),
+                   backend="fast", n_clusters=4)
+    print(res.converged, res.stats.cycles_per_iteration)
+
 See docs/ARCHITECTURE.md for the layer map and the contracts between
 layers (tick order, backend bit-identity, partitioner semantics).
 
@@ -37,6 +47,8 @@ Public API surface (``__all__``):
   :class:`Backend`, :data:`CYCLE_TOLERANCE`;
 - scale-out — :func:`run_multicluster`, :class:`HbmConfig`,
   :data:`PARTITIONERS`;
+- pipelines and solvers — :class:`Pipeline`, :func:`run_pipeline`,
+  :func:`solve_cg`, :func:`solve_jacobi`, :func:`solve_power`;
 - error taxonomy — :mod:`repro.errors`.
 
 Everything else (kernels, cluster runtime, eval drivers, workloads)
@@ -44,7 +56,7 @@ is stable at module level: import it from its submodule, e.g.
 ``from repro.workloads import random_csr``.
 """
 
-__version__ = "0.3.0"
+__version__ = "0.4.0"
 
 from repro import errors
 from repro.backends import BACKENDS, CYCLE_TOLERANCE, Backend, get_backend
@@ -56,6 +68,8 @@ from repro.formats import (
     SparseFiber,
 )
 from repro.multicluster import PARTITIONERS, HbmConfig, run_multicluster
+from repro.pipeline import Pipeline, run_pipeline
+from repro.solvers import solve_cg, solve_jacobi, solve_power
 
 __all__ = [
     "BACKENDS",
@@ -67,9 +81,14 @@ __all__ = [
     "CsrMatrix",
     "HbmConfig",
     "PARTITIONERS",
+    "Pipeline",
     "SparseFiber",
     "__version__",
     "errors",
     "get_backend",
     "run_multicluster",
+    "run_pipeline",
+    "solve_cg",
+    "solve_jacobi",
+    "solve_power",
 ]

@@ -12,7 +12,14 @@ runtime; ``cycle`` measures, ``fast`` replays + predicts
 from repro.backends.base import Backend
 from repro.backends.cycle import CycleBackend
 from repro.backends.fast import FastBackend
-from repro.backends.model import CYCLE_SLACK, CYCLE_TOLERANCE
+from repro.backends.model import (
+    CYCLE_SLACK,
+    CYCLE_TOLERANCE,
+    KERNEL_TOLERANCE,
+    cycle_error,
+    cycle_tolerance,
+    cycles_within_tolerance,
+)
 from repro.errors import ConfigError
 
 #: Registered backend classes by name.
@@ -48,6 +55,10 @@ __all__ = [
     "CYCLE_SLACK",
     "CYCLE_TOLERANCE",
     "CycleBackend",
+    "KERNEL_TOLERANCE",
+    "cycle_error",
+    "cycle_tolerance",
+    "cycles_within_tolerance",
     "DEFAULT_BACKEND",
     "FastBackend",
     "get_backend",

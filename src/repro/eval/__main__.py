@@ -18,6 +18,7 @@ additionally writes its strong+weak dataset to ``scaling.json``
 """
 
 import argparse
+import json
 import sys
 import time
 
@@ -25,6 +26,7 @@ from repro.backends import BACKENDS
 from repro.eval.experiments import (
     DESCRIPTIONS,
     EXPERIMENTS,
+    experiment_registry,
     run_all,
     run_experiment,
 )
@@ -85,7 +87,24 @@ def main(argv=None):
     parser.add_argument("--cache-dir", default=None, metavar="DIR",
                         help="point-result cache directory "
                              "(default: .repro-cache or $REPRO_CACHE_DIR)")
+    parser.add_argument("--list-experiments", action="store_true",
+                        help="print the experiment registry and exit "
+                             "(with --json: machine-readable — id, name, "
+                             "output file, claim count)")
+    parser.add_argument("--json", action="store_true",
+                        help="with --list-experiments: emit JSON")
     args = parser.parse_args(argv)
+
+    if args.list_experiments:
+        registry = experiment_registry()
+        if args.json:
+            print(json.dumps(registry, indent=1))
+        else:
+            for entry in registry:
+                out = entry["output"] or "-"
+                print(f"{entry['id']:14s} {out:20s} "
+                      f"claims={entry['claim_count']}  {entry['name']}")
+        return 0
 
     quick = not args.full
     ids = args.experiments or list(EXPERIMENTS)

@@ -17,6 +17,7 @@ from repro.eval import (
     fig4c,
     fig4d,
     scaling,
+    solvers,
     sparse_sparse,
     static_models,
 )
@@ -31,14 +32,16 @@ QUICK = {
     "E10": dict(),
     "scaling": dict(),
     "sparse_sparse": dict(nnz=256, spgemm_n=48),
+    "solvers": dict(densities=(0.002, 0.01), n_iters=5,
+                    clusters=(1, 2, 4)),
 }
 
 #: Experiments that execute kernels and honor ``backend=``.
 BACKEND_AWARE = frozenset({"E1", "E2", "E3", "E4", "E8", "E9", "E10",
-                           "scaling", "sparse_sparse"})
+                           "scaling", "sparse_sparse", "solvers"})
 #: Sweep-shaped experiments that honor ``runner=`` point fan-out.
 PARALLEL_AWARE = frozenset({"E1", "E2", "E3", "E4", "E9", "scaling",
-                            "sparse_sparse"})
+                            "sparse_sparse", "solvers"})
 
 #: One-line summaries rendered into the CLI ``--help`` epilog (keep in
 #: sync with :data:`EXPERIMENTS`; enforced by
@@ -56,7 +59,61 @@ DESCRIPTIONS = {
     "scaling": "E11 — multi-cluster strong/weak scaling per partitioner",
     "sparse_sparse": "E12 — sparse-sparse (masked SpVV / SpGEMM) "
                      "speedup vs match density",
+    "solvers": "E13 — TCDM-resident iterative solvers (CG/Jacobi/power) "
+               "on the pipeline subsystem",
 }
+
+#: Structured registry metadata: the JSON artifact each experiment
+#: writes (None when it only renders a table) and the names of its
+#: derived claims. ``python -m repro.eval --list-experiments --json``
+#: emits this (with :data:`DESCRIPTIONS`), and ``docs/build_site.py``
+#: generates the experiments-catalog table from the same emitter — no
+#: hand-maintained table to go stale.
+EXPERIMENT_INFO = {
+    "E1": {"output": None, "claims": ()},
+    "E2": {"output": None, "claims": ()},
+    "E3": {"output": None, "claims": ()},
+    "E4": {"output": None, "claims": ()},
+    "E5": {"output": None, "claims": ()},
+    "E6": {"output": None, "claims": ()},
+    "E8": {"output": None, "claims": ()},
+    "E9": {"output": None, "claims": ()},
+    "E10": {"output": None, "claims": ()},
+    "scaling": {"output": "scaling.json",
+                "claims": ("nnz_balanced_beats_row_block",
+                           "weak_scaling_efficiency_le_1")},
+    "sparse_sparse": {"output": "sparse_sparse.json",
+                      "claims": ("issr_speedup_above_threshold",
+                                 "fast_cycle_bit_identical",
+                                 "fast_cycle_within_tolerance")},
+    "solvers": {"output": "solvers.json",
+                "claims": ("issr_speedup_above_threshold",
+                           "multicluster_speedup",
+                           "backend_bit_identical",
+                           "cycle_within_tolerance",
+                           "no_matrix_redma",
+                           "variant_bit_identical",
+                           "solvers_converge")},
+}
+
+
+def experiment_registry():
+    """The machine-readable experiment catalog (id, name, output,
+    claim count) — the single source behind the CLI's
+    ``--list-experiments --json`` and the generated docs table."""
+    entries = []
+    for eid in EXPERIMENTS:
+        info = EXPERIMENT_INFO.get(eid, {"output": None, "claims": ()})
+        entries.append({
+            "id": eid,
+            "name": DESCRIPTIONS.get(eid, ""),
+            "output": info["output"],
+            "claim_count": len(info["claims"]),
+            "claims": list(info["claims"]),
+            "backend_aware": eid in BACKEND_AWARE,
+            "parallel_aware": eid in PARALLEL_AWARE,
+        })
+    return entries
 
 
 def _run_related_from_e3(e3_result=None, **kwargs):
@@ -85,6 +142,9 @@ EXPERIMENTS = {
     # E12: sparse-sparse kernel family (masked SpVV / SpGEMM) swept
     # over match density; "sparse_sparse" is its CLI name.
     "sparse_sparse": sparse_sparse.run,
+    # E13: TCDM-resident iterative solvers on the pipeline subsystem
+    # (defaults to the fast backend); "solvers" is its CLI name.
+    "solvers": solvers.run,
 }
 
 

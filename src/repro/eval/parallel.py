@@ -33,8 +33,10 @@ DEFAULT_CACHE_DIR = ".repro-cache"
 #: parameters that must distinguish otherwise-identical points; v3
 #: accompanies the sparse-sparse (E12) point family, whose parameters
 #: (match density, pair distribution, check kind) and two-backend
-#: cross-check results must never collide with older entries.
-KEY_SCHEMA = 3
+#: cross-check results must never collide with older entries; v4
+#: accompanies the solver/pipeline (E13) point family (solver name,
+#: cluster count, iteration budget, pipeline coordination constants).
+KEY_SCHEMA = 4
 
 _code_version = None
 

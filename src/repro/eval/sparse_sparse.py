@@ -33,7 +33,12 @@ the sweep fans out through :class:`~repro.eval.parallel.ParallelRunner`
 import json
 import os
 
-from repro.backends import CYCLE_SLACK, CYCLE_TOLERANCE, get_backend
+from repro.backends import (
+    CYCLE_TOLERANCE,
+    cycle_error,
+    cycle_tolerance,
+    get_backend,
+)
 from repro.eval.parallel import map_points
 from repro.eval.report import ExperimentResult, ascii_plot
 from repro.workloads import random_csr, random_fiber_pair
@@ -111,9 +116,9 @@ def crosscheck_point(params):
             sc, rc = cycle.masked_spvv(fa, fb, variant, bits)
             sf, rf = fast.masked_spvv(fa, fb, variant, bits)
             out["bit_identical"] &= (rc == rf)
-            err = max(abs(sf.cycles - sc.cycles) - CYCLE_SLACK, 0)
-            out["max_rel_err"] = max(out["max_rel_err"],
-                                     err / max(sc.cycles, 1))
+            out["max_rel_err"] = max(
+                out["max_rel_err"],
+                cycle_error(sf.cycles, sc.cycles, tol_kind))
     else:
         n = max(nnz // 4, 8)
         nnz_m = max(int(round(params["density"] * n * n)), n)
@@ -124,10 +129,10 @@ def crosscheck_point(params):
             sc, cc = cycle.spgemm(a, b, variant, bits)
             sf, cf = fast.spgemm(a, b, variant, bits)
             out["bit_identical"] &= (cc == cf)
-            err = max(abs(sf.cycles - sc.cycles) - CYCLE_SLACK, 0)
-            out["max_rel_err"] = max(out["max_rel_err"],
-                                     err / max(sc.cycles, 1))
-    out["tolerance"] = CYCLE_TOLERANCE[tol_kind]
+            out["max_rel_err"] = max(
+                out["max_rel_err"],
+                cycle_error(sf.cycles, sc.cycles, tol_kind))
+    out["tolerance"] = cycle_tolerance(tol_kind)[0]
     out["within_tolerance"] = out["max_rel_err"] <= out["tolerance"]
     return out
 

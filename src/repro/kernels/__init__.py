@@ -1,5 +1,11 @@
 """Sparse-dense product kernels and further indirection applications."""
 
+from repro.kernels.blas1 import (
+    GLUE_KINDS,
+    apply_glue,
+    build_glue,
+    run_glue,
+)
 from repro.kernels.codebook import compress, run_codebook_dot, run_decode
 from repro.kernels.common import BASE, ISSR, N_ACCUMULATORS, SSR, VARIANTS
 from repro.kernels.csrmm import build_csrmm, run_csrmm
@@ -26,6 +32,10 @@ __all__ = [
     "ISSR",
     "VARIANTS",
     "N_ACCUMULATORS",
+    "GLUE_KINDS",
+    "build_glue",
+    "run_glue",
+    "apply_glue",
     "build_spvv",
     "run_spvv",
     "build_csrmv",

@@ -1,0 +1,266 @@
+"""The pipeline IR: multi-kernel programs over named TCDM buffers.
+
+A :class:`Pipeline` chains kernel invocations into one schedulable
+program: *stages* (a sparse kernel, a dense glue operation from
+:mod:`repro.kernels.blas1`, or a host scalar step) bound to *named
+buffers* (vectors, scalars, and CSR matrix operands) that stay
+resident in the TCDM across stages. The executors
+(:mod:`repro.pipeline.executor`) run the same IR on both backends —
+cycle-stepped with one assembled program per stage, or functionally
+with composed analytic stage models — and on N clusters, where row
+partitioning splits every vector buffer into an owned range and
+``replicated`` buffers are re-broadcast after each write
+(see ``docs/ARCHITECTURE.md``, "Pipeline buffer residency").
+
+Iterative structure: ``setup_stages`` run once, ``stages`` run every
+iteration; ``record`` names the scalars sampled per iteration and
+``stop`` an optional host-side predicate over the scalar table that
+ends the run early. Host stages and ``stop`` must be deterministic
+pure float functions — they execute identically on both backends, so
+recorded histories stay bit-identical.
+"""
+
+import numpy as np
+
+from repro.errors import ConfigError, FormatError
+from repro.formats.csr import CsrMatrix
+from repro.kernels.blas1 import GLUE_KINDS
+from repro.kernels.common import check_index_bits, check_variant
+
+#: Stage kinds beyond the glue family.
+KERNEL_STAGE_KINDS = ("csrmv",)
+HOST_STAGE_KIND = "host"
+STAGE_KINDS = KERNEL_STAGE_KINDS + GLUE_KINDS + (HOST_STAGE_KIND,)
+
+#: Vector operands read / written per stage kind (scalar operands are
+#: tracked separately via :meth:`Stage.scalar_reads`).
+_VECTOR_READS = {
+    "csrmv": ("x",), "dot": ("x", "y"), "diff2": ("x", "y"),
+    "axpy": ("x", "y"), "axpy_sub": ("x", "y"), "aypx": ("x", "y"),
+    "scale": ("x",), "copy": ("x",), "jacobi": ("y", "b", "dinv"),
+    "host": (),
+}
+_VECTOR_WRITES = {
+    "csrmv": ("y",), "dot": (), "diff2": (),
+    "axpy": ("y",), "axpy_sub": ("y",), "aypx": ("y",),
+    "scale": ("y",), "copy": ("y",), "jacobi": ("out",),
+    "host": (),
+}
+#: Scalar operands per kind: (reads, writes).
+_SCALAR_OPS = {
+    "dot": ((), ("out",)), "diff2": ((), ("out",)),
+    "axpy": (("alpha",), ()), "axpy_sub": (("alpha",), ()),
+    "aypx": (("alpha",), ()), "scale": (("alpha",), ()),
+}
+
+
+class VectorBuffer:
+    """A named dense vector resident in the TCDM.
+
+    ``replicated`` buffers hold the full vector on every cluster (the
+    CsrMV dense operand must be one); others are *partitioned* — each
+    cluster holds only its owned row range. ``temp`` buffers are
+    iteration-local: their TCDM space may be reused by other temps
+    with disjoint liveness (see :mod:`repro.pipeline.buffers`).
+    """
+
+    __slots__ = ("name", "length", "init", "replicated", "temp")
+
+    def __init__(self, name, length, init=None, replicated=False, temp=False):
+        self.name = name
+        self.length = int(length)
+        if self.length < 0:
+            raise FormatError(f"buffer {name!r} has negative length")
+        self.init = None if init is None \
+            else np.asarray(init, dtype=np.float64).copy()
+        if self.init is not None and len(self.init) != self.length:
+            raise FormatError(
+                f"buffer {name!r}: init length {len(self.init)} != "
+                f"declared {self.length}")
+        self.replicated = bool(replicated)
+        self.temp = bool(temp)
+        if self.temp and self.init is not None:
+            raise ConfigError(f"temp buffer {name!r} cannot carry init data")
+
+    def __repr__(self):
+        kind = "replicated" if self.replicated else "partitioned"
+        return f"VectorBuffer({self.name!r}, n={self.length}, {kind})"
+
+
+class MatrixOperand:
+    """A CSR matrix operand, resident in the TCDM for the whole run."""
+
+    __slots__ = ("name", "matrix")
+
+    def __init__(self, name, matrix):
+        if not isinstance(matrix, CsrMatrix):
+            raise FormatError(f"matrix operand {name!r} must be a CsrMatrix")
+        self.name = name
+        self.matrix = matrix
+
+    def __repr__(self):
+        return f"MatrixOperand({self.name!r}, shape={self.matrix.shape})"
+
+
+class Stage:
+    """One pipeline stage: a kernel, a glue op, or a host scalar step."""
+
+    __slots__ = ("kind", "name", "args")
+
+    def __init__(self, kind, name=None, **args):
+        if kind not in STAGE_KINDS:
+            raise ConfigError(
+                f"unknown stage kind {kind!r}; expected one of {STAGE_KINDS}")
+        self.kind = kind
+        self.name = name or kind
+        self.args = args
+
+    def vector_reads(self):
+        """Names of vector buffers this stage reads."""
+        return tuple(self.args[k] for k in _VECTOR_READS[self.kind])
+
+    def vector_writes(self):
+        """Names of vector buffers this stage writes."""
+        return tuple(self.args[k] for k in _VECTOR_WRITES[self.kind])
+
+    def scalar_reads(self):
+        """Names of scalar-table entries this stage reads."""
+        reads, _ = _SCALAR_OPS.get(self.kind, ((), ()))
+        return tuple(self.args[k] for k in reads)
+
+    def scalar_writes(self):
+        """Names of scalar-table entries this stage writes."""
+        _, writes = _SCALAR_OPS.get(self.kind, ((), ()))
+        return tuple(self.args[k] for k in writes)
+
+    def __repr__(self):
+        binds = ", ".join(f"{k}={v!r}" for k, v in self.args.items()
+                          if not callable(v))
+        return f"Stage({self.name!r}: {self.kind} {binds})"
+
+
+class Pipeline:
+    """A multi-kernel program over TCDM-resident named buffers."""
+
+    def __init__(self, name, variant="issr", index_bits=32):
+        check_variant(variant)
+        check_index_bits(index_bits)
+        self.name = name
+        self.variant = variant
+        self.index_bits = index_bits
+        self.matrices = {}
+        self.vectors = {}
+        self.scalars = {}
+        self.setup_stages = []
+        self.stages = []
+        #: Scalar names sampled into the per-iteration history.
+        self.record = []
+        #: Optional host predicate over the scalar table: return True
+        #: to end the run after the current iteration.
+        self.stop = None
+        #: Vector buffers returned as the pipeline's result.
+        self.outputs = []
+
+    # -- declarations ------------------------------------------------------
+
+    def add_matrix(self, name, matrix):
+        """Declare a TCDM-resident CSR matrix operand."""
+        self._fresh(name)
+        self.matrices[name] = MatrixOperand(name, matrix)
+        return self.matrices[name]
+
+    def add_vector(self, name, length=None, init=None, replicated=False,
+                   temp=False):
+        """Declare a dense vector buffer (see :class:`VectorBuffer`)."""
+        self._fresh(name)
+        if length is None:
+            if init is None:
+                raise ConfigError(
+                    f"vector {name!r} needs a length or init data")
+            length = len(init)
+        self.vectors[name] = VectorBuffer(name, length, init=init,
+                                          replicated=replicated, temp=temp)
+        return self.vectors[name]
+
+    def add_scalar(self, name, init=0.0):
+        """Declare a scalar-table entry with its initial value."""
+        self._fresh(name)
+        self.scalars[name] = float(init)
+
+    def _fresh(self, name):
+        for table in (self.matrices, self.vectors, self.scalars):
+            if name in table:
+                raise ConfigError(f"buffer name {name!r} already declared")
+
+    # -- stages ------------------------------------------------------------
+
+    def add_stage(self, kind, name=None, setup=False, **args):
+        """Append a stage (to ``setup_stages`` when ``setup`` is set)."""
+        stage = Stage(kind, name=name, **args)
+        self._check_stage(stage, setup)
+        (self.setup_stages if setup else self.stages).append(stage)
+        return stage
+
+    def _check_stage(self, stage, setup):
+        if stage.kind == "host":
+            if not callable(stage.args.get("fn")):
+                raise ConfigError(
+                    f"host stage {stage.name!r} needs a callable fn=")
+            return
+        if stage.kind == "csrmv":
+            mat = stage.args.get("matrix")
+            if mat not in self.matrices:
+                raise ConfigError(
+                    f"stage {stage.name!r}: unknown matrix {mat!r}")
+            x = self.vectors.get(stage.args.get("x"))
+            if x is None or not x.replicated:
+                raise ConfigError(
+                    f"stage {stage.name!r}: csrmv input must be a "
+                    "replicated vector buffer")
+        for vec in stage.vector_reads() + stage.vector_writes():
+            if vec not in self.vectors:
+                raise ConfigError(
+                    f"stage {stage.name!r}: unknown vector buffer {vec!r}")
+            if setup and self.vectors[vec].temp:
+                raise ConfigError(
+                    f"setup stage {stage.name!r} cannot use temp "
+                    f"buffer {vec!r}")
+        for sc in stage.scalar_reads() + stage.scalar_writes():
+            if sc not in self.scalars:
+                raise ConfigError(
+                    f"stage {stage.name!r}: unknown scalar {sc!r}")
+
+    # -- derived structure -------------------------------------------------
+
+    def all_stages(self):
+        """Setup stages followed by one iteration's stages."""
+        return list(self.setup_stages) + list(self.stages)
+
+    def validate(self):
+        """Whole-pipeline checks before execution."""
+        if not self.stages:
+            raise ConfigError(f"pipeline {self.name!r} has no stages")
+        for out in self.outputs:
+            if out not in self.vectors:
+                raise ConfigError(f"unknown output buffer {out!r}")
+            if self.vectors[out].temp:
+                raise ConfigError(f"output buffer {out!r} cannot be a temp")
+        for rec in self.record:
+            if rec not in self.scalars:
+                raise ConfigError(f"unknown recorded scalar {rec!r}")
+        for mat in self.matrices.values():
+            m = mat.matrix
+            for stage in self.all_stages():
+                if stage.kind == "csrmv" and stage.args["matrix"] == mat.name:
+                    x = self.vectors[stage.args["x"]]
+                    y = self.vectors[stage.args["y"]]
+                    if x.length < m.ncols or y.length != m.nrows:
+                        raise ConfigError(
+                            f"stage {stage.name!r}: operand lengths "
+                            f"({x.length}, {y.length}) do not match "
+                            f"matrix shape {m.shape}")
+
+    def __repr__(self):
+        return (f"Pipeline({self.name!r}, {self.variant}/"
+                f"idx{self.index_bits}, {len(self.matrices)} matrices, "
+                f"{len(self.vectors)} vectors, {len(self.stages)} stages)")

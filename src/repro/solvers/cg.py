@@ -1,0 +1,83 @@
+"""Conjugate gradient on the pipeline subsystem.
+
+The canonical SPD solver loop (Hestenes-Stiefel): one CsrMV plus two
+dot products and three AXPY-family updates per iteration, all
+TCDM-resident. The search direction ``p`` is the CsrMV operand, so it
+is the pipeline's one *replicated* buffer — on N clusters it is
+re-broadcast after the ``aypx`` update while ``x``/``r``/``q`` stay
+partitioned, and the two dots allreduce through the partition's
+combine plan.
+"""
+
+import numpy as np
+
+from repro.errors import FormatError
+from repro.pipeline import Pipeline
+from repro.solvers.common import execute
+
+
+def _cg_init(scalars):
+    return {"rr0": scalars["rr"]}
+
+
+def _cg_alpha(scalars):
+    pq = scalars["pq"]
+    return {"alpha": scalars["rr"] / pq if pq != 0.0 else 0.0}
+
+
+def _cg_beta(scalars):
+    rr = scalars["rr"]
+    return {"beta": scalars["rrn"] / rr if rr != 0.0 else 0.0,
+            "rr": scalars["rrn"]}
+
+
+def build_cg_pipeline(matrix, b, variant="issr", index_bits=16, tol=1e-6):
+    """Build the CG iteration as a :class:`~repro.pipeline.Pipeline`.
+
+    Stops when the squared residual norm falls to
+    ``tol**2 * ||b||**2`` (``b`` is the initial residual: x0 = 0).
+    """
+    if matrix.nrows != matrix.ncols:
+        raise FormatError(f"CG needs a square matrix, got {matrix.shape}")
+    b = np.asarray(b, dtype=np.float64)
+    n = matrix.nrows
+    pipe = Pipeline("cg", variant=variant, index_bits=index_bits)
+    pipe.add_matrix("A", matrix)
+    pipe.add_vector("x", length=n)
+    pipe.add_vector("r", init=b)
+    pipe.add_vector("p", init=b, replicated=True)
+    pipe.add_vector("q", length=n, temp=True)
+    for name in ("rr", "rr0", "rrn", "pq", "alpha", "beta"):
+        pipe.add_scalar(name)
+
+    pipe.add_stage("dot", name="rr_init", setup=True, x="r", y="r", out="rr")
+    pipe.add_stage("host", name="save_rr0", setup=True, fn=_cg_init)
+
+    pipe.add_stage("csrmv", name="q=Ap", matrix="A", x="p", y="q")
+    pipe.add_stage("dot", name="pq", x="p", y="q", out="pq")
+    pipe.add_stage("host", name="alpha", fn=_cg_alpha)
+    pipe.add_stage("axpy", name="x+=ap", x="p", y="x", alpha="alpha")
+    pipe.add_stage("axpy_sub", name="r-=aq", x="q", y="r", alpha="alpha")
+    pipe.add_stage("dot", name="rr", x="r", y="r", out="rrn")
+    pipe.add_stage("host", name="beta", fn=_cg_beta)
+    pipe.add_stage("aypx", name="p=r+bp", x="r", y="p", alpha="beta")
+
+    pipe.record = ["rr"]
+    tol2 = tol * tol
+    pipe.stop = lambda s: s["rr"] <= tol2 * s["rr0"]
+    pipe.outputs = ["x"]
+    return pipe
+
+
+def solve_cg(matrix, b, variant="issr", index_bits=16, n_iters=100,
+             tol=1e-6, **exec_kwargs):
+    """Solve the SPD system ``A x = b``; returns a :class:`SolverResult`.
+
+    ``exec_kwargs`` forward to :func:`~repro.pipeline.run_pipeline`
+    (``backend=``, ``n_clusters=``, ``partitioner=``, ``hbm=``, ...).
+    """
+    pipe = build_cg_pipeline(matrix, b, variant=variant,
+                             index_bits=index_bits, tol=tol)
+    b = np.asarray(b, dtype=np.float64)
+    threshold = tol * tol * float(np.dot(b, b))
+    return execute("cg", pipe, "rr", threshold, n_iters, **exec_kwargs)

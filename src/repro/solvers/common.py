@@ -1,0 +1,74 @@
+"""Shared solver plumbing: results, execution, operator splitting."""
+
+import numpy as np
+
+from repro.errors import FormatError
+from repro.formats.csr import CsrMatrix
+from repro.pipeline import run_pipeline
+
+
+class SolverResult:
+    """The outcome of one solver run on the pipeline subsystem."""
+
+    __slots__ = ("solver", "x", "stats", "history", "iterations",
+                 "converged")
+
+    def __init__(self, solver, x, stats, history, converged):
+        self.solver = solver
+        self.x = x
+        self.stats = stats
+        self.history = history
+        self.iterations = stats.iterations
+        self.converged = converged
+
+    def __repr__(self):
+        return (f"SolverResult({self.solver}, iters={self.iterations}, "
+                f"converged={self.converged}, "
+                f"cycles={self.stats.cycles})")
+
+
+def execute(solver, pipeline, record_key, threshold, n_iters, **exec_kwargs):
+    """Run a solver pipeline and wrap the outcome in a SolverResult.
+
+    ``converged`` is the pipeline's own stop decision evaluated on the
+    final scalar table (bit-identical across backends); ``threshold``
+    on the recorded history is the fallback for stop-less pipelines.
+    """
+    stats, outputs = run_pipeline(pipeline, n_iters, **exec_kwargs)
+    history = stats.history[record_key]
+    if pipeline.stop is not None:
+        converged = bool(stats.scalars) and bool(pipeline.stop(
+            dict(stats.scalars)))
+    else:
+        converged = bool(history) and history[-1] <= threshold
+    return SolverResult(solver, outputs["x"], stats, stats.history,
+                        converged)
+
+
+def split_jacobi(matrix):
+    """Split ``A`` into its off-diagonal part and 1/diag.
+
+    Returns ``(R, dinv)`` with ``R = A - diag(A)`` as a CSR matrix
+    (row order preserved) and ``dinv[i] = 1 / A[i, i]``. Every
+    diagonal entry must be present and nonzero.
+    """
+    if matrix.nrows != matrix.ncols:
+        raise FormatError(
+            f"Jacobi needs a square matrix, got {matrix.shape}")
+    diag = np.zeros(matrix.nrows, dtype=np.float64)
+    keep = np.ones(matrix.nnz, dtype=bool)
+    for r in range(matrix.nrows):
+        lo, hi = int(matrix.ptr[r]), int(matrix.ptr[r + 1])
+        row_cols = matrix.idcs[lo:hi]
+        hit = np.nonzero(row_cols == r)[0]
+        if not len(hit) or matrix.vals[lo + hit[0]] == 0.0:
+            raise FormatError(
+                f"Jacobi needs a nonzero diagonal; row {r} has none")
+        diag[r] = matrix.vals[lo + hit[0]]
+        keep[lo + hit[0]] = False
+    lengths = np.diff(matrix.ptr) - 1
+    ptr = np.zeros(matrix.nrows + 1, dtype=np.int64)
+    np.cumsum(lengths, out=ptr[1:])
+    r_mat = CsrMatrix(ptr, matrix.idcs[keep], matrix.vals[keep],
+                      matrix.shape)
+    return r_mat, 1.0 / diag

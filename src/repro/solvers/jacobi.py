@@ -1,0 +1,54 @@
+"""Jacobi iteration on the pipeline subsystem.
+
+``x_{k+1} = D^{-1} (b - R x_k)`` with ``A = D + R`` split once at
+build time (:func:`~repro.solvers.common.split_jacobi`). The iterate
+``x`` is the CsrMV operand, so it is the replicated buffer; the
+off-diagonal product ``y = R x`` and the fresh iterate ``xn`` are
+iteration-local temps whose TCDM words the buffer manager may reuse.
+Convergence is tracked by the squared update norm ``|x_{k+1} - x_k|^2``
+(a ``diff2`` glue reduction).
+"""
+
+import numpy as np
+
+from repro.pipeline import Pipeline
+from repro.solvers.common import execute, split_jacobi
+
+
+def build_jacobi_pipeline(matrix, b, variant="issr", index_bits=16,
+                          tol=1e-6):
+    """Build the Jacobi iteration as a pipeline (diagonally dominant A)."""
+    r_mat, dinv = split_jacobi(matrix)
+    b = np.asarray(b, dtype=np.float64)
+    n = matrix.nrows
+    pipe = Pipeline("jacobi", variant=variant, index_bits=index_bits)
+    pipe.add_matrix("R", r_mat)
+    pipe.add_vector("x", length=n, replicated=True)
+    pipe.add_vector("b", init=b)
+    pipe.add_vector("dinv", init=dinv)
+    pipe.add_vector("y", length=n, temp=True)
+    pipe.add_vector("xn", length=n, temp=True)
+    pipe.add_scalar("dd")
+
+    pipe.add_stage("csrmv", name="y=Rx", matrix="R", x="x", y="y")
+    pipe.add_stage("jacobi", name="xn=(b-y)/d", y="y", b="b", dinv="dinv",
+                   out="xn")
+    pipe.add_stage("diff2", name="dd", x="xn", y="x", out="dd")
+    pipe.add_stage("copy", name="x=xn", x="xn", y="x")
+
+    pipe.record = ["dd"]
+    tol2 = tol * tol
+    pipe.stop = lambda s: s["dd"] <= tol2
+    pipe.outputs = ["x"]
+    return pipe
+
+
+def solve_jacobi(matrix, b, variant="issr", index_bits=16, n_iters=200,
+                 tol=1e-6, **exec_kwargs):
+    """Iterate ``A x = b`` to a fixed point; returns a SolverResult.
+
+    ``exec_kwargs`` forward to :func:`~repro.pipeline.run_pipeline`.
+    """
+    pipe = build_jacobi_pipeline(matrix, b, variant=variant,
+                                 index_bits=index_bits, tol=tol)
+    return execute("jacobi", pipe, "dd", tol * tol, n_iters, **exec_kwargs)

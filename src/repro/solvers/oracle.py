@@ -1,0 +1,88 @@
+"""SciPy-free NumPy oracles for the solver scenarios.
+
+Plain float64 NumPy implementations of the three iterative methods
+(and direct solution helpers) used as *convergence references*: they
+take mathematically identical steps but reduce in NumPy's own
+summation order, so simulator iterates are compared against them with
+tolerances, never bit for bit (bit-identity is checked between
+backends/variants of the simulated pipelines themselves).
+"""
+
+import numpy as np
+
+
+def _dense(matrix):
+    return matrix.to_dense() if hasattr(matrix, "to_dense") \
+        else np.asarray(matrix, dtype=np.float64)
+
+
+def reference_solution(matrix, b):
+    """Direct dense solve of ``A x = b`` (the convergence target)."""
+    return np.linalg.solve(_dense(matrix), np.asarray(b, dtype=np.float64))
+
+
+def cg_oracle(matrix, b, n_iters, tol=0.0):
+    """Conjugate gradient on the dense operator; returns (x, rr history)."""
+    a = _dense(matrix)
+    b = np.asarray(b, dtype=np.float64)
+    x = np.zeros_like(b)
+    r = b.copy()
+    p = b.copy()
+    rr = float(r @ r)
+    history = []
+    for _ in range(n_iters):
+        q = a @ p
+        pq = float(p @ q)
+        if pq == 0.0:
+            break
+        alpha = rr / pq
+        x = x + alpha * p
+        r = r - alpha * q
+        rr_new = float(r @ r)
+        history.append(rr_new)
+        if tol and rr_new <= tol:
+            rr = rr_new
+            break
+        p = r + (rr_new / rr) * p
+        rr = rr_new
+    return x, history
+
+
+def jacobi_oracle(matrix, b, n_iters, tol=0.0):
+    """Jacobi iteration on the dense operator; returns (x, |dx|^2 history)."""
+    a = _dense(matrix)
+    b = np.asarray(b, dtype=np.float64)
+    d = np.diag(a).copy()
+    r = a - np.diag(d)
+    x = np.zeros_like(b)
+    history = []
+    for _ in range(n_iters):
+        xn = (b - r @ x) / d
+        dd = float((xn - x) @ (xn - x))
+        history.append(dd)
+        x = xn
+        if tol and dd <= tol:
+            break
+    return x, history
+
+
+def power_oracle(matrix, n_iters, x0=None, tol=0.0):
+    """Power iteration; returns (x, Rayleigh-estimate history)."""
+    a = _dense(matrix)
+    n = a.shape[0]
+    x = np.full(n, 1.0 / np.sqrt(n)) if x0 is None \
+        else np.asarray(x0, dtype=np.float64).copy()
+    history = []
+    lam_prev = 0.0
+    for _ in range(n_iters):
+        t = a @ x
+        lam = float(x @ t)
+        history.append(lam)
+        norm = float(np.sqrt(t @ t))
+        if norm == 0.0:
+            break
+        x = t / norm
+        if tol and (lam - lam_prev) ** 2 <= tol:
+            break
+        lam_prev = lam
+    return x, history

@@ -1,0 +1,69 @@
+"""Power iteration (PageRank-style) on the pipeline subsystem.
+
+``t = A x;  lambda ~= x . t;  x = t / |t|`` per iteration — the
+dominant-eigenvector loop behind PageRank when ``A`` is a
+column-normalized link matrix, see
+:func:`repro.workloads.random_stochastic_csr`. The iterate ``x`` is
+the replicated CsrMV operand, ``t`` an iteration-local temp; the
+Rayleigh estimate and its squared change are recorded per iteration.
+The normalization's divide and square root are host-stage scalar ops
+(deterministic IEEE doubles on both backends).
+"""
+
+import math
+
+import numpy as np
+
+from repro.errors import FormatError
+from repro.pipeline import Pipeline
+from repro.solvers.common import execute
+
+
+def _power_update(scalars):
+    nn = scalars["nn"]
+    d = scalars["lam"] - scalars["lam_prev"]
+    return {"s": 1.0 / math.sqrt(nn) if nn > 0.0 else 0.0,
+            "dlam": d * d,
+            "lam_prev": scalars["lam"]}
+
+
+def build_power_pipeline(matrix, variant="issr", index_bits=16, tol=1e-9,
+                         x0=None):
+    """Build the power-iteration loop as a pipeline."""
+    if matrix.nrows != matrix.ncols:
+        raise FormatError(
+            f"power iteration needs a square matrix, got {matrix.shape}")
+    n = matrix.nrows
+    if x0 is None:
+        x0 = np.full(n, 1.0 / math.sqrt(n) if n else 0.0)
+    pipe = Pipeline("power", variant=variant, index_bits=index_bits)
+    pipe.add_matrix("A", matrix)
+    pipe.add_vector("x", init=x0, replicated=True)
+    pipe.add_vector("t", length=n, temp=True)
+    for name in ("nn", "lam", "lam_prev", "dlam", "s"):
+        pipe.add_scalar(name)
+
+    pipe.add_stage("csrmv", name="t=Ax", matrix="A", x="x", y="t")
+    pipe.add_stage("dot", name="nn", x="t", y="t", out="nn")
+    pipe.add_stage("dot", name="rayleigh", x="x", y="t", out="lam")
+    pipe.add_stage("host", name="normalize", fn=_power_update)
+    pipe.add_stage("scale", name="x=t/|t|", x="t", y="x", alpha="s")
+
+    pipe.record = ["lam", "dlam"]
+    tol2 = tol * tol
+    pipe.stop = lambda s: s["dlam"] <= tol2
+    pipe.outputs = ["x"]
+    return pipe
+
+
+def solve_power(matrix, variant="issr", index_bits=16, n_iters=100,
+                tol=1e-9, x0=None, **exec_kwargs):
+    """Find the dominant eigenpair; returns a SolverResult.
+
+    ``result.history["lam"]`` holds the Rayleigh estimates;
+    convergence means the squared estimate change fell to ``tol**2``.
+    ``exec_kwargs`` forward to :func:`~repro.pipeline.run_pipeline`.
+    """
+    pipe = build_power_pipeline(matrix, variant=variant,
+                                index_bits=index_bits, tol=tol, x0=x0)
+    return execute("power", pipe, "dlam", tol * tol, n_iters, **exec_kwargs)

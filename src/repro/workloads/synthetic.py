@@ -98,6 +98,83 @@ def random_fiber_pair(dim, nnz_a, nnz_b, match_density, seed=None,
     return fiber_a, fiber_b
 
 
+def random_spd_csr(n, offdiag_per_row=4, seed=None, dominance=1.0,
+                   max_row_nnz=None):
+    """A sparse symmetric positive-definite matrix with bounded rows.
+
+    Generates a symmetric off-diagonal pattern where no row holds more
+    than ``max_row_nnz`` nonzeros *including* the diagonal (default
+    ``offdiag_per_row + 1``), then sets each diagonal entry to the
+    row's absolute off-diagonal sum plus ``dominance`` — strict
+    diagonal dominance with positive diagonal, hence SPD. The row
+    bound is the solver scenarios' cross-variant bit-identity
+    condition: with every row shorter than the ISSR accumulator count,
+    all three kernel variants reduce in the same chained order
+    (see ``docs/solvers.md``).
+    """
+    if n <= 0:
+        raise FormatError(f"matrix order must be positive, got {n}")
+    cap = (max_row_nnz if max_row_nnz is not None
+           else offdiag_per_row + 1) - 1  # off-diagonal entries per row
+    if cap < 0:
+        raise FormatError("max_row_nnz must leave room for the diagonal")
+    rng = make_rng(seed)
+    target_pairs = min(n * offdiag_per_row // 2, n * cap // 2)
+    degrees = np.zeros(n, dtype=np.int64)
+    chosen = set()
+    attempts = 0
+    while len(chosen) < target_pairs and attempts < 20 * target_pairs + 20:
+        attempts += 1
+        i, j = rng.integers(0, n, size=2)
+        if i == j:
+            continue
+        pair = (min(i, j), max(i, j))
+        if pair in chosen or degrees[i] >= cap or degrees[j] >= cap:
+            continue
+        chosen.add(pair)
+        degrees[i] += 1
+        degrees[j] += 1
+    rows, cols, vals = [], [], []
+    for (i, j) in sorted(chosen):
+        v = float(rng.standard_normal())
+        rows += [i, j]
+        cols += [j, i]
+        vals += [v, v]
+    dense_diag = np.full(n, float(dominance))
+    for i, v in zip(rows, vals):
+        dense_diag[i] += abs(v)
+    rows += list(range(n))
+    cols += list(range(n))
+    vals += dense_diag.tolist()
+    return CsrMatrix.from_coo(np.array(rows), np.array(cols),
+                              np.array(vals), (n, n))
+
+
+def random_stochastic_csr(n, nnz_per_row=4, seed=None):
+    """A column-normalized sparse matrix with bounded row degree.
+
+    The PageRank-style power-iteration operand: positive values, and
+    every column that holds nonzeros sums to 1. Columns the random
+    pattern never references stay zero, so the matrix is column
+    *sub*stochastic in general — its dominant eigenvalue is <= 1
+    (strictly below when mass leaks through empty columns), which is
+    what :func:`repro.solvers.solve_power`'s Rayleigh history
+    converges to. Rows carry a constant ``nnz_per_row`` nonzeros, so
+    the bounded-row-degree bit-identity condition of the solver
+    scenarios is easy to satisfy.
+    """
+    base = random_csr(n, n, n * nnz_per_row, distribution="constant",
+                      seed=seed)
+    vals = np.abs(base.vals) + 0.1  # strictly positive link weights
+    sums = np.zeros(n, dtype=np.float64)
+    np.add.at(sums, base.idcs, vals)
+    scale = np.ones(n, dtype=np.float64)
+    nonzero = sums > 0
+    scale[nonzero] = 1.0 / sums[nonzero]
+    return CsrMatrix(base.ptr, base.idcs, vals * scale[base.idcs],
+                     (n, n))
+
+
 def random_csr(nrows, ncols, nnz, distribution="uniform", seed=None, **kwargs):
     """A random CSR matrix with ``nnz`` total nonzeros.
 

@@ -13,11 +13,11 @@ import numpy as np
 import pytest
 
 from repro.backends import (
-    CYCLE_SLACK,
-    CYCLE_TOLERANCE,
     BACKENDS,
     CycleBackend,
     FastBackend,
+    cycle_tolerance,
+    cycles_within_tolerance,
     get_backend,
 )
 from repro.errors import ConfigError, DeadlockError
@@ -37,9 +37,9 @@ ALL_KERNELS = [("base", 32), ("base", 16), ("ssr", 32), ("ssr", 16),
 
 
 def assert_cycles_close(fast, cycle, kind="single"):
-    tol = CYCLE_TOLERANCE[kind]
-    assert abs(fast - cycle) <= tol * cycle + CYCLE_SLACK, \
-        f"predicted {fast} vs simulated {cycle} cycles (tol {tol:.0%})"
+    rel, _slack = cycle_tolerance(kind)
+    assert cycles_within_tolerance(fast, cycle, kind), \
+        f"predicted {fast} vs simulated {cycle} cycles (tol {rel:.0%})"
 
 
 @pytest.fixture(scope="module")

@@ -41,6 +41,30 @@ def test_experiments_catalog_covers_the_registry():
     assert not missing, f"experiments.md misses {missing}"
 
 
+def test_committed_registry_table_is_fresh():
+    """The experiments.md registry block matches the live registry.
+
+    Regenerate with ``python docs/build_site.py --sync-registry``.
+    """
+    build_site = _load_build_site()
+    page = (DOCS / "experiments.md").read_text()
+    assert build_site.inject_registry(page) == page, \
+        "docs/experiments.md registry table is stale — run " \
+        "`python docs/build_site.py --sync-registry`"
+
+
+def test_registry_table_matches_cli_json():
+    """One emitter behind both the docs table and the CLI JSON."""
+    from repro.eval.experiments import experiment_registry
+
+    build_site = _load_build_site()
+    table = build_site.registry_table()
+    for entry in experiment_registry():
+        assert f"`{entry['id']}`" in table
+        if entry["output"]:
+            assert entry["output"] in table
+
+
 def test_mkdocs_nav_files_exist_after_staging():
     """Every nav entry of mkdocs.yml resolves in the staged tree."""
     build_site = _load_build_site()

@@ -4,8 +4,7 @@ import numpy as np
 import pytest
 
 from repro.backends import (
-    CYCLE_SLACK,
-    CYCLE_TOLERANCE,
+    cycles_within_tolerance,
     CycleBackend,
     FastBackend,
 )
@@ -50,7 +49,6 @@ class TestMaskedSpvv:
 
     def test_fast_matches_cycle_bitwise_and_in_cycles(self):
         cycle, fast = CycleBackend(), FastBackend()
-        tol = CYCLE_TOLERANCE["masked"]
         for density in (0.0, 0.05, 0.5, 1.0):
             fa, fb = random_fiber_pair(512, 96, 96, density, seed=11)
             for v in VARIANTS:
@@ -58,8 +56,7 @@ class TestMaskedSpvv:
                     sc, rc = cycle.masked_spvv(fa, fb, v, bits)
                     sf, rf = fast.masked_spvv(fa, fb, v, bits)
                     assert rc == rf
-                    assert abs(sf.cycles - sc.cycles) \
-                        <= tol * sc.cycles + CYCLE_SLACK
+                    assert cycles_within_tolerance(sf.cycles, sc.cycles, "masked")
 
 
 class TestMaskedCsrmv:
@@ -89,7 +86,6 @@ class TestMaskedCsrmv:
 
     def test_fast_matches_cycle_bitwise_and_in_cycles(self):
         cycle, fast = CycleBackend(), FastBackend()
-        tol = CYCLE_TOLERANCE["masked"]
         matrix = random_csr(20, 128, 320, seed=8)
         x = rand_fiber(128, 40, 9)
         for v in VARIANTS:
@@ -97,8 +93,7 @@ class TestMaskedCsrmv:
                 sc, yc = cycle.masked_csrmv(matrix, x, v, bits)
                 sf, yf = fast.masked_csrmv(matrix, x, v, bits)
                 np.testing.assert_array_equal(yc, yf)
-                assert abs(sf.cycles - sc.cycles) \
-                    <= tol * sc.cycles + CYCLE_SLACK
+                assert cycles_within_tolerance(sf.cycles, sc.cycles, "masked")
 
     def test_issr_beats_base(self):
         matrix = random_csr(16, 256, 512, seed=10)

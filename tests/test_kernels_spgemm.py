@@ -4,8 +4,7 @@ import numpy as np
 import pytest
 
 from repro.backends import (
-    CYCLE_SLACK,
-    CYCLE_TOLERANCE,
+    cycles_within_tolerance,
     CycleBackend,
     FastBackend,
 )
@@ -47,7 +46,6 @@ class TestSpgemmSingleCC:
 
     def test_fast_matches_cycle_bitwise_and_in_cycles(self):
         cycle, fast = CycleBackend(), FastBackend()
-        tol = CYCLE_TOLERANCE["spgemm"]
         a = random_csr(10, 16, 60, seed=5)
         b = random_csr(16, 14, 70, seed=6)
         for v in VARIANTS:
@@ -55,8 +53,7 @@ class TestSpgemmSingleCC:
                 sc, cc = cycle.spgemm(a, b, v, bits)
                 sf, cf = fast.spgemm(a, b, v, bits)
                 assert cc == cf
-                assert abs(sf.cycles - sc.cycles) \
-                    <= tol * sc.cycles + CYCLE_SLACK
+                assert cycles_within_tolerance(sf.cycles, sc.cycles, "spgemm")
 
     def test_issr_beats_base_on_dense_enough_inputs(self):
         a = random_csr(12, 24, 120, seed=7)

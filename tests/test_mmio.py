@@ -1,7 +1,12 @@
 """Unit tests for Matrix Market I/O."""
 
+import os
+import tempfile
+
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.errors import FormatError
 from repro.formats import CsrMatrix, read_matrix_market, write_matrix_market
@@ -135,3 +140,49 @@ class TestWriteRead:
         back = read_matrix_market(str(path))
         assert back.shape == (1, 4)
         assert back.nnz == 0
+
+
+class TestRoundTripProperty:
+    """Satellite (ISSUE 4): read(write(csr)) is exact for any CSR,
+    including empty rows and single-column matrices."""
+
+    @given(nrows=st.integers(1, 12), ncols=st.integers(1, 12),
+           density=st.floats(0.0, 1.0), seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_is_exact(self, nrows, ncols, density, seed):
+        matrix = random_csr(nrows, ncols, int(density * nrows * ncols),
+                            seed=seed)
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, "m.mtx")
+            write_matrix_market(matrix, path)
+            back = read_matrix_market(path)
+        assert back.shape == matrix.shape
+        assert np.array_equal(back.ptr, matrix.ptr)
+        assert np.array_equal(back.idcs, matrix.idcs)
+        # repr() round-trips doubles exactly in Python 3
+        assert back.vals.tobytes() == matrix.vals.tobytes()
+
+    def test_empty_rows_and_single_column(self):
+        matrix = CsrMatrix([0, 0, 1, 1, 3], [0, 0, 1],
+                           [0.1, -2.5e-17, 3.0], (4, 2))
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, "m.mtx")
+            write_matrix_market(matrix, path, comment="edge case")
+            back = read_matrix_market(path)
+        assert back == matrix
+        assert (back.row_lengths() == [0, 1, 0, 2]).all()
+
+    def test_single_column(self):
+        matrix = CsrMatrix([0, 0, 1, 1, 2], [0, 0],
+                           [7.25e-300, -1.0], (4, 1))
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, "m.mtx")
+            write_matrix_market(matrix, path)
+            assert read_matrix_market(path) == matrix
+
+    def test_all_empty_matrix(self):
+        matrix = CsrMatrix([0, 0, 0], [], [], (2, 3))
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, "m.mtx")
+            write_matrix_market(matrix, path)
+            assert read_matrix_market(path) == matrix

@@ -2,15 +2,20 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.errors import FormatError
 from repro.workloads import (
     G7,
     G11,
+    LARGE_SET,
     RAGUSA18,
+    SCALING_SET,
     MatrixSpec,
     calibration_set,
     get_spec,
+    large_set,
     load,
     matrix_names,
     paper_set,
@@ -18,6 +23,9 @@ from repro.workloads import (
     random_dense_matrix,
     random_dense_vector,
     random_sparse_vector,
+    random_spd_csr,
+    random_stochastic_csr,
+    scaling_set,
 )
 
 
@@ -142,3 +150,66 @@ class TestCatalog:
         spec = MatrixSpec("tiny", 4, 4, 8, "uniform", domain="test")
         m = spec.generate(seed=1)
         assert m.nnz == 8
+
+
+class TestSolverGenerators:
+    @given(n=st.integers(4, 64), offdiag=st.integers(1, 6),
+           seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_spd_is_symmetric_dominant_and_bounded(self, n, offdiag, seed):
+        m = random_spd_csr(n, offdiag_per_row=offdiag, seed=seed)
+        dense = m.to_dense()
+        assert np.array_equal(dense, dense.T)
+        assert int(m.row_lengths().max()) <= offdiag + 1
+        # strict diagonal dominance (hence SPD with positive diagonal)
+        offsum = np.abs(dense).sum(axis=1) - np.abs(np.diag(dense))
+        assert (np.diag(dense) > offsum).all()
+
+    def test_spd_row_cap_override(self):
+        m = random_spd_csr(32, offdiag_per_row=8, seed=1, max_row_nnz=4)
+        assert int(m.row_lengths().max()) <= 4
+
+    def test_spd_invalid_args(self):
+        with pytest.raises(FormatError):
+            random_spd_csr(0)
+        with pytest.raises(FormatError):
+            random_spd_csr(8, max_row_nnz=0)
+
+    @given(n=st.integers(4, 64), npr=st.integers(1, 4),
+           seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_stochastic_columns_sum_to_one(self, n, npr, seed):
+        m = random_stochastic_csr(n, npr, seed=seed)
+        assert (m.vals > 0).all()
+        sums = m.to_dense().sum(axis=0)
+        nonempty = sums > 0
+        np.testing.assert_allclose(sums[nonempty], 1.0, rtol=1e-12)
+        assert (m.row_lengths() == npr).all()
+
+
+class TestCatalogSets:
+    def test_large_set_sorted_by_density(self):
+        specs = large_set()
+        assert set(s.name for s in specs) == set(s.name for s in LARGE_SET)
+        densities = [s.nnz_per_row for s in specs]
+        assert densities == sorted(densities)
+
+    def test_scaling_set_skew_first(self):
+        specs = scaling_set()
+        assert [s.name for s in specs] == [s.name for s in SCALING_SET]
+        assert specs[0].params.get("sort_rows") is True
+
+    def test_load_matches_generate(self):
+        a = load("G11", seed=9, scale=0.1)
+        b = get_spec("G11").generate(seed=9, scale=0.1)
+        assert a == b
+
+    def test_generate_caps_nnz_at_capacity(self):
+        spec = MatrixSpec("tiny", 4, 4, 64, "uniform", domain="test")
+        m = spec.generate(seed=1)
+        assert m.nnz == 16  # clamped to nrows * ncols
+
+    def test_stable_seed_is_name_dependent(self):
+        a = get_spec("G11").generate(scale=0.05)
+        b = get_spec("G11").generate(scale=0.05)
+        assert a == b  # same default seed for the same name
