@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.errors import ConfigError, SimulationError
 from repro.kernels.csrmv import build_csrmv
+from repro.sim.engine import IDLE
 from repro.sim.counters import RunStats, collect_cc_stats
 from repro.utils.bits import pack_indices
 
@@ -99,6 +100,9 @@ class ClusterStats(RunStats):
 
 class ClusterCsrmv:
     """One CsrMV job on the cluster; register as an engine component."""
+
+    _q_state = 0
+    _q_gen = 0
 
     def __init__(self, cluster, matrix, x, variant="issr", index_bits=16,
                  tile_rows=None):
@@ -192,7 +196,7 @@ class ClusterCsrmv:
         transfers.append((pb0, buf["ptr"], (pb1 - pb0 + 7) // 8))
         last = len(transfers) - 1
         for i, (src, dst, words) in enumerate(transfers):
-            on_done = (lambda _x, t=t: self._prefetch_done.__setitem__(t, True)) \
+            on_done = (lambda _x, t=t: self._mark(self._prefetch_done, t)) \
                 if i == last else None
             self.cluster.dma.copy_in(src, dst, words, on_done=on_done)
 
@@ -203,8 +207,17 @@ class ClusterCsrmv:
             return
         self.cluster.dma.copy_out(
             self.buf[t % 2]["y"], self.mm_y + 8 * r0, r1 - r0,
-            on_done=lambda _x, t=t: self._writeback_done.__setitem__(t, True),
+            on_done=lambda _x, t=t: self._mark(self._writeback_done, t),
         )
+
+    def _mark(self, flags, t):
+        """Record a DMA completion; the runtime may be napping on it."""
+        flags[t] = True
+        self.engine.wake(self)
+
+    def _mark_x_done(self, _xfer):
+        self._x_done = True
+        self.engine.wake(self)
 
     # -- worker control -----------------------------------------------------------
 
@@ -254,6 +267,7 @@ class ClusterCsrmv:
         cc = self.cluster.ccs[w]
         self._launched.add(w)
         share_nnz = int(m.ptr[w1] - m.ptr[w0])
+        cc.core.observer = self  # its halt ends our wait for the tile
         cc.core.load_program(self.program)
         args = {
             10: vbase_vals + 8 * int(m.ptr[w0]),          # a0
@@ -271,19 +285,21 @@ class ClusterCsrmv:
 
     def tick(self):
         if self.done:
-            return
+            return IDLE  # nothing restarts a finished job
         cycle = self.engine.cycle
         if self._state == "init":
             self.cluster.dma.copy_in(
                 self.mm_x, self.tc_x, max(len(self.x), 1),
-                on_done=lambda _x: setattr(self, "_x_done", True),
+                on_done=self._mark_x_done,
             )
             if self.tiles:
                 self._queue_prefetch(0)
                 self._next_prefetch = 1
             self._state = "run"
             self.engine.note_progress()
-            return
+            return None
+
+        acted = False
 
         # Completion of the running tile?
         t = self._computing
@@ -293,6 +309,7 @@ class ClusterCsrmv:
             self._computing = None
             self._barrier_until = cycle + BARRIER_CYCLES
             self.engine.note_progress()
+            acted = True
 
         # Start the next tile?
         if (self._computing is None and self._next_compute < len(self.tiles)
@@ -303,6 +320,7 @@ class ClusterCsrmv:
                 self._start_tile(nxt)
                 self._next_compute += 1
                 self.engine.note_progress()
+                acted = True
 
         # Prefetch ahead (buffer free once tile np-2 has been computed).
         np_ = self._next_prefetch
@@ -310,10 +328,22 @@ class ClusterCsrmv:
             self._queue_prefetch(np_)
             self._next_prefetch += 1
             self.engine.note_progress()
+            acted = True
 
         if (self._next_compute == len(self.tiles) and self._computing is None
                 and not self.cluster.dma.busy):
             self.done = True
+            acted = True
+
+        if acted:
+            return None  # follow-up transitions may fire next cycle
+        # Quiescent: every pending condition has a wake edge — worker
+        # halts (core.observer), staggered-launch events (event owner),
+        # DMA completion marks — or is purely time (the tile barrier).
+        if self._computing is None and self._next_compute < len(self.tiles) \
+                and cycle < self._barrier_until:
+            return self._barrier_until
+        return IDLE
 
     def _workers_done(self):
         if self._launched != self._started:
@@ -344,11 +374,11 @@ def run_cluster_csrmv(matrix, x, variant="issr", index_bits=16,
     job = ClusterCsrmv(cluster, matrix, x, variant=variant,
                        index_bits=index_bits)
     # Control must tick before the cores: insert at the front.
-    cluster.engine._components.insert(0, job)
+    cluster.engine.add_front(job)
     cluster.reset_stats()
     start = cluster.engine.cycle
     cycles = cluster.engine.run(lambda: job.done, max_cycles=max_cycles)
-    cluster.engine._components.remove(job)
+    cluster.engine.remove(job)
 
     stats = ClusterStats(cycles=cycles)
     for cc in cluster.ccs:

@@ -116,14 +116,20 @@ class _Side:
     # -- per-cycle data movement ---------------------------------------------
 
     def refill(self):
+        """Feed the serializer from the index-word FIFO; True if fed."""
         ser = self.serializer
         if ser is not None and ser.needs_word and self.idx_fifo:
             ser.feed(self.idx_fifo.pop())
+            return True
+        return False
 
     def tick_port(self, stream_data):
-        """Issue at most one memory request (RR between index and data)."""
+        """Issue at most one memory request (RR between index and data).
+
+        Returns True when a request was issued (quiescence activity).
+        """
         if not self.port.idle:
-            return
+            return False
         ser = self.serializer
         want_idx = (ser is not None
                     and self.idx_words_requested < ser.words_needed
@@ -140,6 +146,7 @@ class _Side:
             self.idx_reads += 1
             self._last_pick_idx = True
             self.unit.engine.note_progress()
+            return True
         elif want_data:
             pos = self.pos_fifo.pop()
             self.data_inflight += 1
@@ -148,6 +155,8 @@ class _Side:
             self.mem_reads += 1
             self._last_pick_idx = False
             self.unit.engine.note_progress()
+            return True
+        return False
 
     def _on_idx_word(self, tag, word):
         self.idx_inflight -= 1
@@ -161,6 +170,10 @@ class _Side:
         if self.data_inflight < 0:
             raise SimulationError(
                 f"{self.unit.name}.{self.label}: negative data inflight")
+        unit = self.unit
+        consumer = unit._consumer
+        if consumer is not None and consumer._q_state:
+            unit.engine.wake(consumer)  # matched value available
         self.data_fifo.push(value)
 
     @property
@@ -194,9 +207,12 @@ class MatchStream:
         return bool(self.unit.side_b.data_fifo)
 
     def pop(self):
-        """Pop the next matched b value."""
-        self.unit.side_b.elements_read += 1
-        return self.unit.side_b.data_fifo.pop()
+        """Pop the next matched b value (wakes the sleeping streamer)."""
+        unit = self.unit
+        unit.side_b.elements_read += 1
+        if unit._streamer is not None:
+            unit.engine.wake(unit._streamer)
+        return unit.side_b.data_fifo.pop()
 
     @property
     def can_push(self):
@@ -264,12 +280,20 @@ class IntersectLane:
     count of the last finished job.
     """
 
+    #: Set by the owning Streamer; standalone units have no waker.
+    _streamer = None
+    #: Set by the CC: the FPU popping the matched-value streams.
+    _consumer = None
+
     def __init__(self, engine, port_a, port_b, lane_id=0, name="isect"):
         self.engine = engine
         self.name = name
         self.lane_id = lane_id
         self.side_a = _Side(self, port_a, "a")
         self.side_b = _Side(self, port_b, "b")
+        #: Sub-objects receiving event callbacks on this lane's behalf
+        #: (the streamer maps them to itself via Engine.own).
+        self.event_receivers = (self.side_a, self.side_b)
         self.partner = MatchStream(self)
         self._jobs = deque()
         self._job = None
@@ -332,8 +356,10 @@ class IntersectLane:
         return bool(self.side_a.data_fifo)
 
     def pop(self):
-        """Pop the next matched a value."""
+        """Pop the next matched a value (wakes the sleeping streamer)."""
         self.side_a.elements_read += 1
+        if self._streamer is not None:
+            self.engine.wake(self._streamer)
         return self.side_a.data_fifo.pop()
 
     @property
@@ -354,23 +380,27 @@ class IntersectLane:
         refill from the index-word FIFOs, then at most ONE comparator
         step, then one memory request per side (RR index/data mux).
         """
+        started = False
         if not self._job_active():
             if self._jobs:
                 self._start_next_job()
+                started = True
             else:
-                return
+                return False
         stream = self._job.mode == INTERSECT_STREAM
         a, b = self.side_a, self.side_b
-        a.refill()
-        b.refill()
-        self._merge_step(stream)
-        a.tick_port(stream)
-        b.tick_port(stream)
+        fed_a = a.refill()
+        fed_b = b.refill()
+        merged = self._merge_step(stream)
+        issued_a = a.tick_port(stream)
+        issued_b = b.tick_port(stream)
+        return (started or fed_a or fed_b or merged
+                or issued_a or issued_b)
 
     def _merge_step(self, stream):
-        """At most one two-pointer merge step per cycle."""
+        """At most one two-pointer merge step per cycle; True if stepped."""
         if self._merge_done:
-            return
+            return False
         a, b = self.side_a, self.side_b
         # Termination: a fully consumed side ends the job (no further
         # matches possible); the other side's remaining indices are not
@@ -378,14 +408,14 @@ class IntersectLane:
         if (a.exhausted and not a.head_ready) or \
                 (b.exhausted and not b.head_ready):
             self._merge_done = True
-            return
+            return True  # state change: the job may now complete
         if not a.head_ready or not b.head_ready:
-            return
+            return False
         ha, hb = a.head, b.head
         if ha == hb:
             if stream and not (a.pos_fifo.can_push()
                                and b.pos_fifo.can_push()):
-                return  # match FIFO backpressure throttles the merge
+                return False  # match FIFO backpressure throttles the merge
             pa = a.consume()
             pb = b.consume()
             if stream:
@@ -399,6 +429,7 @@ class IntersectLane:
         self.merge_steps += 1
         self.active_cycles += 1
         self.engine.note_progress()
+        return True
 
     # -- statistics ----------------------------------------------------------
 

@@ -105,39 +105,48 @@ class IssrLane(SsrLane):
     # -- data mover -------------------------------------------------------
 
     def tick(self):
+        started = False
         if not self._job_active():
             if self._jobs and self.inflight == 0 and self.idx_inflight == 0:
                 self._start_next_job()
+                started = True
         if self._serializer is None:
             # affine mode: behave exactly like the base SSR lane
-            super().tick()
-            return
+            return bool(super().tick()) or started
         ser = self._serializer
 
         # Refill the serializer from the index word FIFO.
+        fed = False
         if ser.needs_word and self.idx_fifo:
             ser.feed(self.idx_fifo.pop())
+            fed = True
 
         want_idx = (self._idx_words_requested < ser.words_needed
                     and len(self.idx_fifo) + self.idx_inflight < self.idx_fifo.depth)
 
         if self.idx_port is not None:
             # three-port configuration: no mux, both can issue per cycle
+            issued = False
             if want_idx and self.idx_port.idle:
                 self._issue_index_fetch(self.idx_port)
+                issued = True
             if self.port.idle and self._data_request_ready(ser):
                 self._issue_data_access(ser)
-            return
+                issued = True
+            return started or fed or issued
 
         if not self.port.idle:
-            return
+            return started or fed
         want_data = self._data_request_ready(ser)
         if want_idx and (not want_data or not self._last_pick_idx):
             self._issue_index_fetch(self.port)
             self._last_pick_idx = True
+            return True
         elif want_data:
             self._issue_data_access(ser)
             self._last_pick_idx = False
+            return True
+        return started or fed
 
     def _data_request_ready(self, ser):
         job = self._job
@@ -168,6 +177,9 @@ class IssrLane(SsrLane):
                 self._rep_left = self._job.repeat - 1
         if self._job.mode == INDIRECT_WRITE:
             value = self.wfifo.pop()
+            consumer = self._consumer
+            if consumer is not None and consumer._q_state:
+                self.engine.wake(consumer)  # scatter space freed
             self.port.request(addr, 8, True, value=value)
             self.mem_writes += 1
         else:

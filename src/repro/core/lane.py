@@ -24,7 +24,21 @@ JOB_QUEUE_DEPTH = 1
 
 
 class SsrLane:
-    """An affine-only stream semantic register lane."""
+    """An affine-only stream semantic register lane.
+
+    ``tick()`` returns True when the lane did any work this cycle
+    (started a job, issued a request); the owning
+    :class:`~repro.core.streamer.Streamer` sleeps when every lane
+    reports a no-op cycle. FPU-side pops/pushes wake the streamer
+    (``_streamer``, set by the streamer) because they unblock a
+    back-pressured data mover.
+    """
+
+    #: Set by the owning Streamer; standalone lanes have no waker.
+    _streamer = None
+    #: Set by the CC: the FPU popping/pushing this lane's stream
+    #: register — woken when data arrives or write space frees up.
+    _consumer = None
 
     def __init__(self, engine, port, lane_id=0, name="ssr",
                  fifo_depth=DATA_FIFO_DEPTH):
@@ -89,6 +103,8 @@ class SsrLane:
 
     def pop(self):
         self.elements_read += 1
+        if self._streamer is not None:
+            self.engine.wake(self._streamer)  # FIFO space unblocks the mover
         return self.fifo.pop()
 
     @property
@@ -98,30 +114,36 @@ class SsrLane:
 
     def push(self, value):
         self.elements_written += 1
+        if self._streamer is not None:
+            self.engine.wake(self._streamer)  # write data unblocks the drain
         self.wfifo.push(value)
 
     # -- data mover -------------------------------------------------------
 
     def tick(self):
+        started = False
         if self._iter is None or self._iter.done:
             if self._jobs and self.inflight == 0:
                 # keep response ordering simple: start the next job once
                 # outstanding responses of the previous one have landed
                 self._start_next_job()
-            elif self._iter is not None and self._iter.done and not self._jobs:
-                pass
+                started = True
         it = self._iter
         if it is None or it.done or not self.port.idle:
-            return
+            return started
         job = self._job
         if job.is_write:
             if self.wfifo:
                 addr = it.next_addr()
                 value = self.wfifo.pop()
+                consumer = self._consumer
+                if consumer is not None and consumer._q_state:
+                    self.engine.wake(consumer)  # write space freed
                 self.port.request(addr, 8, True, value=value)
                 self.mem_writes += 1
                 self.active_cycles += 1
                 self.engine.note_progress()
+                return True
         else:
             if len(self.fifo) + self.inflight < self.fifo.depth:
                 addr = it.next_addr()
@@ -130,11 +152,16 @@ class SsrLane:
                 self.mem_reads += 1
                 self.active_cycles += 1
                 self.engine.note_progress()
+                return True
+        return started
 
     def _on_data(self, tag, value):
         self.inflight -= 1
         if self.inflight < 0:
             raise SimulationError(f"{self.name}: negative inflight count")
+        consumer = self._consumer
+        if consumer is not None and consumer._q_state:
+            self.engine.wake(consumer)  # stream data available
         self.fifo.push(value)
 
     # -- bookkeeping -------------------------------------------------------

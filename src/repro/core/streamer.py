@@ -39,10 +39,22 @@ from repro.core.config import (
     ShadowConfig,
 )
 from repro.errors import ConfigError
+from repro.sim.engine import IDLE
 
 
 class Streamer:
-    """A set of stream lanes multiplexed onto the FP register file."""
+    """A set of stream lanes multiplexed onto the FP register file.
+
+    The streamer is the engine-facing component for its lanes: it
+    sleeps when every lane reports a no-op tick, and is woken by the
+    lanes' external edges — config-launch writes, FPU pops/pushes of
+    the mapped stream registers, memory grants on the lane ports, and
+    memory-response events (the engine maps each lane and its
+    sub-objects to this streamer via ``Engine.own``).
+    """
+
+    _q_state = 0
+    _q_gen = 0
 
     def __init__(self, engine, lanes, name="streamer"):
         if not lanes:
@@ -54,6 +66,11 @@ class Streamer:
         self._shadow = [ShadowConfig() for _ in lanes]
         # The switch: architectural FP register index -> lane index.
         self.reg_map = {lane_idx: lane_idx for lane_idx in range(len(lanes))}
+        for lane in self.lanes:
+            lane._streamer = self
+            engine.own(lane, self)
+            for receiver in getattr(lane, "event_receivers", ()):
+                engine.own(receiver, self)
 
     # -- register switch (FPU side) ---------------------------------------
 
@@ -91,20 +108,27 @@ class Streamer:
         elif reg == REG_DATA_BASE_B:
             shadow.data_base_b = value
         elif REG_RPTR_0 <= reg <= REG_RPTR_3:
-            return lane.enqueue(shadow.snapshot(AFFINE_READ, reg - REG_RPTR_0 + 1, value))
+            return self._launch(lane, shadow.snapshot(AFFINE_READ, reg - REG_RPTR_0 + 1, value))
         elif REG_WPTR_0 <= reg <= REG_WPTR_3:
-            return lane.enqueue(shadow.snapshot(AFFINE_WRITE, reg - REG_WPTR_0 + 1, value))
+            return self._launch(lane, shadow.snapshot(AFFINE_WRITE, reg - REG_WPTR_0 + 1, value))
         elif reg == REG_IRPTR:
-            return lane.enqueue(shadow.snapshot(INDIRECT_READ, 1, value))
+            return self._launch(lane, shadow.snapshot(INDIRECT_READ, 1, value))
         elif reg == REG_IWPTR:
-            return lane.enqueue(shadow.snapshot(INDIRECT_WRITE, 1, value))
+            return self._launch(lane, shadow.snapshot(INDIRECT_WRITE, 1, value))
         elif reg == REG_ISECT_CNT:
-            return lane.enqueue(shadow.snapshot(INTERSECT_COUNT, 1, value))
+            return self._launch(lane, shadow.snapshot(INTERSECT_COUNT, 1, value))
         elif reg == REG_ISECT_STR:
-            return lane.enqueue(shadow.snapshot(INTERSECT_STREAM, 1, value))
+            return self._launch(lane, shadow.snapshot(INTERSECT_STREAM, 1, value))
         else:
             raise ConfigError(f"write to unknown/read-only config register {reg}")
         return True
+
+    def _launch(self, lane, job):
+        """Enqueue a launch-register job; a success wakes the streamer."""
+        ok = lane.enqueue(job)
+        if ok:
+            self.engine.wake(self)
+        return ok
 
     def cfg_read(self, addr):
         lane_idx, reg = divmod(addr, LANE_WINDOW)
@@ -141,8 +165,11 @@ class Streamer:
     # -- simulation --------------------------------------------------------
 
     def tick(self):
+        active = False
         for lane in self.lanes:
-            lane.tick()
+            if lane.tick():
+                active = True
+        return None if active else IDLE
 
     @property
     def busy(self):

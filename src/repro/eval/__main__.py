@@ -87,6 +87,16 @@ def main(argv=None):
     parser.add_argument("--cache-dir", default=None, metavar="DIR",
                         help="point-result cache directory "
                              "(default: .repro-cache or $REPRO_CACHE_DIR)")
+    parser.add_argument("--profile", action="store_true",
+                        help="profile the cycle engine (per-component "
+                             "tick/wake counts, fast-forward stats, "
+                             "program/point cache hit rates); writes "
+                             "profile.json. Profiling is per-process: "
+                             "combine with --parallel and only the "
+                             "parent's engines are counted")
+    parser.add_argument("--profile-out", default="profile.json",
+                        metavar="FILE",
+                        help="where --profile writes its JSON breakdown")
     parser.add_argument("--list-experiments", action="store_true",
                         help="print the experiment registry and exit "
                              "(with --json: machine-readable — id, name, "
@@ -111,6 +121,10 @@ def main(argv=None):
     unknown = [e for e in ids if e not in EXPERIMENTS]
     if unknown:
         parser.error(f"unknown experiment ids: {unknown}")
+
+    if args.profile:
+        from repro.sim import profile
+        profile.enable()
 
     runner = None
     if args.parallel is not None or args.no_cache or args.cache_dir:
@@ -142,6 +156,21 @@ def main(argv=None):
             print(f"  [{eid} in {times[eid]:.2f}s]")
         print()
     print(f"[{len(ids)} experiment(s) in {time.time() - t0:.1f}s]")
+
+    if args.profile:
+        from repro.sim import profile
+        breakdown = profile.report()
+        if runner is not None:
+            breakdown["point_cache"] = {"hits": runner.cache_hits,
+                                        "misses": runner.cache_misses}
+        with open(args.profile_out, "w") as fh:
+            json.dump(breakdown, fh, indent=1)
+        top = list(breakdown["ticks_by_component"].items())[:5]
+        summary = ", ".join(f"{name}:{count}" for name, count in top)
+        print(f"[profile] {breakdown['engines']} engine(s), "
+              f"{breakdown['total_ticks']} ticks, "
+              f"{breakdown['fast_forwarded_cycles']} cycles fast-forwarded; "
+              f"top ticks: {summary}; written to {args.profile_out}")
     return 0
 
 

@@ -171,6 +171,9 @@ class ParallelRunner:
         self.cache_dir = cache_dir
         self.use_cache = use_cache
         self._mp_context = mp_context
+        #: Point-cache hit/miss counters (surfaced by ``--profile``).
+        self.cache_hits = 0
+        self.cache_misses = 0
 
     # -- cache ---------------------------------------------------------------
 
@@ -215,8 +218,10 @@ class ParallelRunner:
             hit = self._load(key)
             if hit is not None:
                 results[i] = hit["result"]
+                self.cache_hits += 1
             else:
                 misses.append(i)
+                self.cache_misses += 1
 
         if misses:
             work = [param_list[i] for i in misses]

@@ -64,6 +64,9 @@ class ProgramCache:
         self.maxsize = maxsize
         self._entries = OrderedDict()
         self._pid = os.getpid()
+        #: Hit/miss counters (surfaced by ``--profile``; per process).
+        self.hits = 0
+        self.misses = 0
 
     def _check_process(self):
         pid = os.getpid()
@@ -75,8 +78,10 @@ class ProgramCache:
         """Return the cached value for ``key``, building it if absent."""
         self._check_process()
         if key in self._entries:
+            self.hits += 1
             self._entries.move_to_end(key)
             return self._entries[key]
+        self.misses += 1
         value = build()
         self._entries[key] = value
         while len(self._entries) > self.maxsize:
@@ -101,6 +106,8 @@ class ProgramCache:
         self.maxsize = state["maxsize"]
         self._entries = OrderedDict()
         self._pid = os.getpid()
+        self.hits = 0
+        self.misses = 0
 
 
 #: The shared program cache for all kernel modules; keys are

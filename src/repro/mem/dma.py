@@ -16,6 +16,7 @@ observation.
 from collections import deque
 
 from repro.errors import ConfigError
+from repro.sim.engine import IDLE
 
 #: Words moved per cycle per direction (512 bits / 64-bit words).
 BEAT_WORDS = 8
@@ -65,6 +66,9 @@ class Dma:
     following cycles, so a congested beat completes partially.
     """
 
+    _q_state = 0
+    _q_gen = 0
+
     def __init__(self, engine, tcdm, mainmem, name="dma"):
         self.engine = engine
         self.tcdm = tcdm
@@ -89,6 +93,7 @@ class Dma:
     def submit(self, transfer):
         """Queue a :class:`DmaTransfer`; returns it for completion polling."""
         self._queues[transfer.direction].append(transfer)
+        self.engine.wake(self)
         return transfer
 
     def copy_in(self, main_addr, tcdm_addr, n_words, on_done=None):
@@ -133,9 +138,11 @@ class Dma:
                 all_ops.extend(ops)
         if all_ops:
             self.tcdm.dma_submit(all_ops)
-        if progressed:
-            self.busy_cycles += 1
-            self.engine.note_progress()
+        if not progressed:
+            return IDLE  # both channels drained; submit() wakes us
+        self.busy_cycles += 1
+        self.engine.note_progress()
+        return None
 
     def _build_beat(self, xfer, direction):
         """Decompose one cycle's worth of ``xfer`` into word-level ops."""

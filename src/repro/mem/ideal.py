@@ -9,10 +9,14 @@ bank conflicts."
 from repro.isa.isa import LOAD_LATENCY
 from repro.mem.memory import WordMemory
 from repro.mem.ports import Port
+from repro.sim.engine import IDLE
 
 
 class IdealMemory:
     """A multi-port conflict-free memory front-end over a WordMemory."""
+
+    _q_state = 0
+    _q_gen = 0
 
     def __init__(self, engine, size_bytes, name="ideal", latency=LOAD_LATENCY):
         self.engine = engine
@@ -22,16 +26,20 @@ class IdealMemory:
         self.name = name
 
     def new_port(self, name):
-        """Create and register a request port."""
+        """Create and register a request port (requests wake this memory)."""
         port = Port(f"{self.name}.{name}")
+        port.engine = self.engine
+        port.server = self
         self.ports.append(port)
         return port
 
     def tick(self):
+        granted = False
         grant = self.engine.cycle
         for port in self.ports:
             if port.req is None:
                 continue
+            granted = True
             req = port.take()
             if req.is_write:
                 self.storage.store(req.addr, req.size, req.value)
@@ -40,3 +48,4 @@ class IdealMemory:
             else:
                 value = self.storage.load(req.addr, req.size, req.signed)
                 self.engine.at(grant + self.latency, req.sink, req.tag, value)
+        return None if granted else IDLE

@@ -10,9 +10,15 @@ after winning bank arbitration in the TCDM).
 "providing an exclusive port to the ISSR while combining the core, FPU,
 and SSR requests into another" — several requesters round-robin onto one
 physical port.
+
+Quiescence wake edges (see :mod:`repro.sim.engine`): placing a request
+wakes the port's ``server`` (the memory or arbiter that grants it), and
+a grant (:meth:`Port.take`) wakes the port's ``owner`` (the requesting
+component), so both sides may sleep while nothing is in flight.
 """
 
 from repro.errors import SimulationError
+from repro.sim.engine import IDLE
 
 
 class MemRequest:
@@ -31,9 +37,17 @@ class MemRequest:
 
 
 class Port:
-    """One physical request channel into a memory."""
+    """One physical request channel into a memory.
 
-    __slots__ = ("name", "req", "reads", "writes", "wait_cycles")
+    ``engine``/``server``/``owner`` are the quiescence wiring: the
+    serving memory (or :class:`SharedPort`) sets ``server`` so a new
+    request wakes it; the core complex sets ``owner`` so a grant wakes
+    the requester. All three default to None, in which case the port
+    behaves exactly as before (standalone ports in unit tests).
+    """
+
+    __slots__ = ("name", "req", "reads", "writes", "wait_cycles",
+                 "engine", "server", "owner")
 
     def __init__(self, name):
         self.name = name
@@ -41,6 +55,9 @@ class Port:
         self.reads = 0
         self.writes = 0
         self.wait_cycles = 0
+        self.engine = None
+        self.server = None
+        self.owner = None
 
     @property
     def idle(self):
@@ -48,19 +65,29 @@ class Port:
         return self.req is None
 
     def request(self, addr, size, is_write, value=None, sink=None, tag=None, signed=False):
-        """Place a request; the port must be idle."""
+        """Place a request; the port must be idle. Wakes the server."""
         if self.req is not None:
             raise SimulationError(f"port {self.name}: request while busy")
         self.req = MemRequest(addr, size, is_write, value, sink, tag, signed)
+        server = self.server
+        if server is not None and server._q_state:
+            self.engine.wake(server)
 
     def take(self):
-        """Memory side: consume the pending request (on grant)."""
+        """Memory side: consume the pending request (on grant).
+
+        Wakes the port's owner — the requester may have gone idle
+        waiting for this channel to free up.
+        """
         req = self.req
         self.req = None
         if req.is_write:
             self.writes += 1
         else:
             self.reads += 1
+        owner = self.owner
+        if owner is not None and owner._q_state:
+            self.engine.wake(owner)
         return req
 
 
@@ -72,33 +99,44 @@ class SharedPort:
     pending slot request is forwarded to the downstream physical port.
     """
 
-    __slots__ = ("name", "port", "slots", "_rr")
+    __slots__ = ("name", "port", "slots", "_rr",            # arbiter state
+                 "_q_state", "_q_gen", "_q_wake", "_q_lazy",  # quiescence
+                 "_q_index", "_q_listed")
 
     def __init__(self, name, port, n_slots):
         self.name = name
         self.port = port
         self.slots = [Port(f"{name}.slot{i}") for i in range(n_slots)]
         self._rr = 0
+        self._q_state = 0
+        self._q_gen = 0
+        # Quiescence wiring: a slot request wakes this arbiter, and the
+        # downstream grant (port.take by the memory) wakes it to
+        # forward the next winner. Slot owners are set by the CC.
+        if port.engine is not None:
+            port.owner = self
+            for slot in self.slots:
+                slot.engine = port.engine
+                slot.server = self
 
     def slot(self, index):
         return self.slots[index]
 
     def tick(self):
-        if not self.port.idle:
-            for slot in self.slots:
+        if self.port.idle:
+            n = len(self.slots)
+            for k in range(n):
+                i = (self._rr + k) % n
+                slot = self.slots[i]
                 if slot.req is not None:
-                    slot.wait_cycles += 1
-            return
-        n = len(self.slots)
-        for k in range(n):
-            i = (self._rr + k) % n
-            slot = self.slots[i]
-            if slot.req is not None:
-                req = slot.take()
-                self.port.request(req.addr, req.size, req.is_write, req.value,
-                                  req.sink, req.tag, req.signed)
-                self._rr = (i + 1) % n
-                break
+                    req = slot.take()
+                    self.port.request(req.addr, req.size, req.is_write,
+                                      req.value, req.sink, req.tag, req.signed)
+                    self._rr = (i + 1) % n
+                    break
+        pending = False
         for slot in self.slots:
             if slot.req is not None:
                 slot.wait_cycles += 1
+                pending = True
+        return None if pending else IDLE

@@ -17,6 +17,7 @@ from repro.errors import ConfigError
 from repro.isa.isa import LOAD_LATENCY
 from repro.mem.memory import WordMemory
 from repro.mem.ports import Port
+from repro.sim.engine import IDLE
 
 #: Paper's cluster configuration.
 DEFAULT_BANKS = 32
@@ -25,6 +26,9 @@ DEFAULT_SIZE = 256 * 1024
 
 class Tcdm:
     """Word-interleaved multi-bank memory with per-bank arbitration."""
+
+    _q_state = 0
+    _q_gen = 0
 
     def __init__(self, engine, size_bytes=DEFAULT_SIZE, n_banks=DEFAULT_BANKS,
                  name="tcdm", latency=LOAD_LATENCY):
@@ -45,6 +49,8 @@ class Tcdm:
 
     def new_port(self, name):
         port = Port(f"{self.name}.{name}")
+        port.engine = self.engine
+        port.server = self
         self._port_index[id(port)] = len(self.ports)
         self.ports.append(port)
         self._rr = {}  # reset arbitration state on topology change
@@ -65,6 +71,7 @@ class Tcdm:
         """
         self._dma_ops = ops
         self.dma_beats += 1
+        self.engine.wake(self)
 
     # -- arbitration ----------------------------------------------------
 
@@ -76,7 +83,7 @@ class Tcdm:
             if port.req is not None:
                 pending.setdefault(self.bank_of(port.req.addr), []).append(port)
         if not pending and not dma_ops:
-            return
+            return IDLE
 
         dma_by_bank = {}
         for op in dma_ops:

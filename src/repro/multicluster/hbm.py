@@ -27,6 +27,7 @@ from dataclasses import dataclass
 
 from repro.errors import ConfigError
 from repro.mem.dma import BEAT_WORDS
+from repro.sim.engine import IDLE
 
 #: Default aggregate HBM bandwidth (64-bit words per cycle). Eight
 #: 512-bit pseudo-channel equivalents: enough that one cluster is never
@@ -79,17 +80,22 @@ class HbmConfig:
 class HbmFabric:
     """Cycle-level aggregate-bandwidth arbiter shared by cluster DMAs.
 
-    Register it on the shared engine *before* any cluster (so its tick
-    resets the budget ahead of the DMAs' claims), then point each
-    cluster's :class:`~repro.mem.dma.Dma` at it via ``dma.fabric``.
+    Register it on the shared engine, then point each cluster's
+    :class:`~repro.mem.dma.Dma` at it via ``dma.fabric``. The
+    per-cycle budget resets lazily on the first ``claim()`` of each
+    cycle, so the fabric itself never needs ticking and sleeps through
+    the whole run — claims arrive in DMA tick order either way.
     """
 
     name = "hbm"
+    _q_state = 0
+    _q_gen = 0
 
     def __init__(self, engine, config=None):
         self.engine = engine
         self.config = config if config is not None else HbmConfig()
         self._budget = self.config.words_per_cycle
+        self._budget_cycle = None  # lazily reset on first claim per cycle
         self.words_granted = 0
         self.words_denied = 0
         self.denied_claims = 0
@@ -110,6 +116,12 @@ class HbmFabric:
         that were cut short (a DMA can be denied at most once per
         direction per cycle; several DMAs may be in the same cycle).
         """
+        cycle = self.engine.cycle
+        if cycle != self._budget_cycle:
+            # lazy per-cycle budget reset: lets the fabric stay asleep
+            # while its clusters' DMAs are idle (no per-cycle tick)
+            self._budget = self.config.words_per_cycle
+            self._budget_cycle = cycle
         link = self.config.cluster_words_per_cycle
         granted = min(n_words, self._budget, link)
         self._budget -= granted
@@ -121,5 +133,5 @@ class HbmFabric:
         return granted
 
     def tick(self):
-        """Reset the per-cycle budget (ticked before every DMA)."""
-        self._budget = self.config.words_per_cycle
+        """No per-cycle work: the budget resets lazily inside claim()."""
+        return IDLE

@@ -96,7 +96,7 @@ def run_multicluster_cycle(partition, x, variant="issr", index_bits=16,
     # Control jobs tick before every hardware component (same contract
     # as the single-cluster runtime).
     for job in reversed(jobs):
-        engine._components.insert(0, job)
+        engine.add_front(job)
     for cl in clusters:
         cl.reset_stats()
 
@@ -104,7 +104,7 @@ def run_multicluster_cycle(partition, x, variant="issr", index_bits=16,
     cycles = engine.run(lambda: all(j.done for j in jobs),
                         max_cycles=max_cycles)
     for job in jobs:
-        engine._components.remove(job)
+        engine.remove(job)
 
     stats = MultiClusterStats()
     stats.scheme = partition.scheme

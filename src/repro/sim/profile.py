@@ -1,0 +1,159 @@
+"""Lightweight per-component tick/wake profiling for the cycle engine.
+
+Answers "where do simulation cycles go?" so perf PRs can target the
+hot components instead of guessing. When enabled (``--profile`` on the
+eval CLI, or :func:`enable` programmatically), every
+:class:`~repro.sim.engine.Engine` constructed afterwards attaches an
+:class:`EngineProfile` that counts, per component label:
+
+- ``ticks`` — how many times ``tick()`` ran,
+- ``wakes`` — wake edges that returned it to the active set,
+- ``sleeps`` / ``timed_sleeps`` — transitions into IDLE / SLEEP_UNTIL,
+
+plus engine-level totals: steps executed, cycles fast-forwarded, and
+events delivered. :func:`report` aggregates every engine profiled so
+far (one experiment may build many engines) together with the shared
+:class:`~repro.kernels.common.ProgramCache` hit counters into a
+JSON-serializable breakdown.
+
+The profiler is deliberately sampling-free and exact; its overhead is
+one counter increment per executed tick, and zero when disabled (the
+engine holds ``None``).
+"""
+
+from collections import Counter
+
+#: Module switch; flipped by :func:`enable` / :func:`disable`.
+ACTIVE = False
+
+#: Profiles of every engine constructed while the profiler was active.
+_PROFILES = []
+
+
+def enable(reset=True):
+    """Turn profiling on for engines constructed from now on."""
+    global ACTIVE
+    ACTIVE = True
+    if reset:
+        _PROFILES.clear()
+
+
+def disable():
+    """Turn profiling off (existing profiles are kept for report())."""
+    global ACTIVE
+    ACTIVE = False
+
+
+def attach(engine):
+    """Engine hook: return a fresh collector, or None when disabled."""
+    if not ACTIVE:
+        return None
+    prof = EngineProfile(engine.mode)
+    _PROFILES.append(prof)
+    return prof
+
+
+class EngineProfile:
+    """Tick/wake/sleep counters for one engine instance."""
+
+    __slots__ = ("mode", "ticks", "wakes", "sleeps", "timed_sleeps",
+                 "fast_forwarded_cycles", "fast_forwards", "_labels")
+
+    def __init__(self, mode):
+        self.mode = mode
+        self.ticks = Counter()
+        self.wakes = Counter()
+        self.sleeps = Counter()
+        self.timed_sleeps = Counter()
+        self.fast_forwarded_cycles = 0
+        self.fast_forwards = 0
+        self._labels = {}
+
+    def _label(self, component):
+        label = self._labels.get(id(component))
+        if label is None:
+            name = getattr(component, "name", None)
+            label = name if name else type(component).__name__
+            self._labels[id(component)] = label
+        return label
+
+    def count_tick(self, component):
+        """One executed ``tick()``."""
+        self.ticks[self._label(component)] += 1
+
+    def count_wake(self, component):
+        """One wake edge returning the component to the active set."""
+        self.wakes[self._label(component)] += 1
+
+    def count_sleep(self, component, timed):
+        """One transition into IDLE (or SLEEP_UNTIL when ``timed``)."""
+        if timed:
+            self.timed_sleeps[self._label(component)] += 1
+        else:
+            self.sleeps[self._label(component)] += 1
+
+    def count_fast_forward(self, cycles):
+        """One fast-forward jump skipping ``cycles`` empty cycles."""
+        self.fast_forwards += 1
+        self.fast_forwarded_cycles += cycles
+
+    def as_dict(self):
+        """JSON-serializable snapshot of this engine's counters."""
+        return {
+            "mode": self.mode,
+            "ticks": dict(self.ticks),
+            "wakes": dict(self.wakes),
+            "sleeps": dict(self.sleeps),
+            "timed_sleeps": dict(self.timed_sleeps),
+            "fast_forwards": self.fast_forwards,
+            "fast_forwarded_cycles": self.fast_forwarded_cycles,
+        }
+
+
+def report(top=24):
+    """Aggregate breakdown across every profiled engine.
+
+    ``top`` bounds the per-component table (sorted by tick count);
+    remaining components are folded into an ``"(other)"`` bucket so
+    the JSON stays readable for multi-cluster sweeps.
+    """
+    ticks = Counter()
+    wakes = Counter()
+    sleeps = Counter()
+    timed = Counter()
+    ff_cycles = 0
+    ffs = 0
+    for prof in _PROFILES:
+        ticks.update(prof.ticks)
+        wakes.update(prof.wakes)
+        sleeps.update(prof.sleeps)
+        timed.update(prof.timed_sleeps)
+        ff_cycles += prof.fast_forwarded_cycles
+        ffs += prof.fast_forwards
+
+    def fold(counter):
+        ranked = counter.most_common()
+        head = dict(ranked[:top])
+        rest = sum(count for _label, count in ranked[top:])
+        if rest:
+            head["(other)"] = rest
+        return head
+
+    from repro.kernels.common import PROGRAM_CACHE
+
+    return {
+        "engines": len(_PROFILES),
+        "total_ticks": sum(ticks.values()),
+        "total_wakes": sum(wakes.values()),
+        "fast_forwards": ffs,
+        "fast_forwarded_cycles": ff_cycles,
+        "ticks_by_component": fold(ticks),
+        "wakes_by_component": fold(wakes),
+        "sleeps_by_component": fold(sleeps),
+        "timed_sleeps_by_component": fold(timed),
+        "program_cache": {
+            "hits": PROGRAM_CACHE.hits,
+            "misses": PROGRAM_CACHE.misses,
+            "entries": len(PROGRAM_CACHE),
+        },
+    }

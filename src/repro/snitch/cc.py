@@ -99,6 +99,19 @@ class CoreComplex:
                                streamer=self.streamer, icache=self.icache,
                                name=f"{name}.core", **core_kwargs)
 
+        # Quiescence wiring: memory grants wake the requesting
+        # component, icache refill events wake the core, and stream
+        # data arrival / write-space release wakes the FPU.
+        for port in self.data_ports:
+            if port is not self.port_shared:
+                port.owner = self.streamer
+        self.shared.slots[SLOT_CORE].owner = self.core
+        self.shared.slots[SLOT_FPU].owner = self.fpu
+        self.shared.slots[SLOT_SSR].owner = self.streamer
+        engine.own(self.icache, self.core)
+        for lane in self.streamer.lanes:
+            lane._consumer = self.fpu
+
     def register(self):
         """Add sub-components to the engine in dataflow tick order."""
         self.engine.add(self.core)

@@ -14,6 +14,7 @@ assumes no taken-branch bubble); ``mul``/``div`` write back after
 """
 
 from repro.errors import SimulationError
+from repro.sim.engine import IDLE
 from repro.isa.isa import (
     ALU_IMM_OPS,
     ALU_OPS,
@@ -35,6 +36,8 @@ from repro.isa.isa import (
 BRANCH_TAKEN_PENALTY = 0
 
 _WAIT_MEM = -1
+#: Stall-cause marker: waiting for the FPU subsystem to drain.
+_DRAIN = "drain"
 
 
 class SnitchCore:
@@ -56,6 +59,12 @@ class SnitchCore:
         self.halted = True
         self._fetch_stall_until = 0
         self._outstanding_loads = 0
+        # quiescence state
+        self._q_state = 0
+        self._q_gen = 0
+        self._block = None            # why the last _execute failed
+        self._stall_backfill = None   # (sleep cycle, raw?) of current nap
+        self.observer = None          # component woken when we halt
         # statistics
         self.retired = 0
         self.stall_cycles = 0
@@ -74,6 +83,9 @@ class SnitchCore:
         self.halted = False
         self._ready.clear()
         self._fetch_stall_until = 0
+        self._block = None
+        self._stall_backfill = None
+        self.engine.wake(self)  # a halted core sleeps until relaunched
 
     def set_reg(self, idx, value):
         if idx:
@@ -93,13 +105,19 @@ class SnitchCore:
         if rd:
             self.regs[rd] = value
             self._ready[rd] = self.engine.cycle
+        self.engine.wake(self)  # we may be napping on this register
 
     # -- helpers -------------------------------------------------------------
 
     def _src_ready(self, reg):
         ready = self._ready.get(reg, 0)
-        if ready == _WAIT_MEM or ready > self.engine.cycle:
+        if ready == _WAIT_MEM:
             self.stall_raw += 1
+            self._block = _WAIT_MEM  # load response wakes us
+            return False
+        if ready > self.engine.cycle:
+            self.stall_raw += 1
+            self._block = ready      # deterministic: nap until ready
             return False
         return True
 
@@ -112,21 +130,68 @@ class SnitchCore:
 
     def tick(self):
         if self.halted:
-            return
+            return IDLE  # woken by load_program
+        backfill = self._stall_backfill
+        if backfill is not None:
+            # We napped through `slept` cycles that would each have been
+            # an identical failing poll: replay their counter effects so
+            # statistics stay bit-equal with the dense engine.
+            self._stall_backfill = None
+            slept = self.engine.cycle - backfill[0] - 1
+            if slept > 0:
+                self.stall_cycles += slept
+                if backfill[1]:
+                    self.stall_raw += slept
+                if self.icache is not None:
+                    self.icache.backfill_hits(slept)
         cycle = self.engine.cycle
         if cycle < self._fetch_stall_until:
             self.stall_fetch += 1
             self.stall_cycles += 1
-            return
+            return None
         if self.pc >= len(self.program.instrs):
             raise SimulationError(f"{self.name}: PC {self.pc} fell off the program")
         if self.icache is not None and not self.icache.fetch(self.pc):
             self.stall_fetch += 1
             self.stall_cycles += 1
-            return
+            return None
         ins = self.program.instrs[self.pc]
+        self._block = None
         if not self._execute(ins):
             self.stall_cycles += 1
+            return self._sleep_on_block(cycle)
+        return None
+
+    def _sleep_on_block(self, cycle):
+        """Turn a deterministic stall into a nap (event mode).
+
+        Only stalls whose every future poll is an identical no-op until
+        a wake edge fires are eligible (RAW waits, FPU-drain waits);
+        ``_execute`` leaves ``_block`` None for the others (LSU/queue/
+        config back-pressure), which keep polling. Short waits — a
+        load's two-cycle latency, a near writeback — keep polling too:
+        below ~4 cycles the sleep/wake round-trip costs more than the
+        polls it saves.
+        """
+        block = self._block
+        if block is None:
+            return None
+        if block == _DRAIN:
+            fpu = self.fpu
+            if (not fpu.queue and fpu._loop is None and fpu._outstanding == 0
+                    and fpu._busy_until > cycle):
+                # drained except for writeback time: wake exactly then
+                self._stall_backfill = (cycle, False)
+                return fpu._busy_until
+            self._stall_backfill = (cycle, False)
+            return IDLE  # the FPU wakes us when it drains
+        if block == _WAIT_MEM:
+            return None  # load latency is short: keep polling
+        if block - cycle < 4:
+            return None
+        # long timed RAW (e.g. div writeback): wake exactly at readiness
+        self._stall_backfill = (cycle, True)
+        return block
 
     def _execute(self, ins):
         op = ins.op
@@ -277,14 +342,18 @@ class SnitchCore:
 
         if op == "fence_fpu":
             if not self._fpu_drained():
+                self._mark_drain_block()
                 return False
             self._retire()
             return True
 
         if op == "halt":
             if not self._fpu_drained() or self._outstanding_loads:
+                self._mark_drain_block()
                 return False
             self.halted = True
+            if self.observer is not None:
+                self.engine.wake(self.observer)  # e.g. the cluster runtime
             self._retire(self.pc)
             return True
 
@@ -317,6 +386,15 @@ class SnitchCore:
         if not self.fpu.drained:
             return False
         return self.streamer is None or self.streamer.writes_drained
+
+    def _mark_drain_block(self):
+        """Flag a fence/halt stall as nappable when only the FPU blocks.
+
+        A pending stream *write* drain has no wake edge to the core, so
+        we keep polling in that (short-lived) state.
+        """
+        if self.streamer is None or self.streamer.writes_drained:
+            self._block = _DRAIN
 
     def _on_load(self, rd, value):
         self._outstanding_loads -= 1

@@ -18,6 +18,7 @@ back-pressure reaches the FPU.
 import math
 
 from repro.errors import SimulationError
+from repro.sim.engine import IDLE
 from repro.isa.isa import (
     FP_FMA_OPS,
     FP_FROM_INT_OPS,
@@ -35,6 +36,9 @@ from repro.utils.fifo import Fifo
 
 #: Sentinel for "register waiting on a memory response".
 _WAIT_MEM = -1
+#: Stall-cause markers for the quiescence protocol.
+_STREAM = "stream"
+_LSU = "lsu"
 
 
 
@@ -69,6 +73,11 @@ class FpuSubsystem:
         self._outstanding = 0     # issued but not completed (incl. loads)
         self._busy_until = 0      # last arithmetic writeback cycle
         self.core = None          # set by the CC for cross-domain writes
+        # quiescence state
+        self._q_state = 0
+        self._q_gen = 0
+        self._block = None            # why the last _issue failed
+        self._stall_backfill = None   # (sleep cycle, cause) of current nap
         # statistics
         self.compute_ops = 0
         self.mac_ops = 0
@@ -95,9 +104,13 @@ class FpuSubsystem:
         """
         streamed = self.streamer is not None and self.streamer.enabled
         self.queue.push(("op", instr, addr, int_value, streamed))
+        if self._q_state:
+            self.engine.wake(self)
 
     def offload_frep(self, reps, n_insn, st_count, st_mask):
         self.queue.push(("frep", reps, n_insn, st_count, st_mask))
+        if self._q_state:
+            self.engine.wake(self)
 
     @property
     def drained(self):
@@ -116,13 +129,54 @@ class FpuSubsystem:
     # -- execution ---------------------------------------------------------
 
     def tick(self):
+        backfill = self._stall_backfill
+        if backfill is not None:
+            # Replay the counter effects of the napped (identical)
+            # failing polls so statistics stay bit-equal with the
+            # dense engine. Only long timed RAW stalls nap (stream/LSU
+            # stalls keep polling), so the replayed counter is always
+            # stall_raw.
+            self._stall_backfill = None
+            slept = self.engine.cycle - backfill[0] - 1
+            if slept > 0:
+                self.stall_raw += slept
         micro = self._select()
         if micro is None:
-            return
+            # No micro-op selectable: sleep. New offloads and memory
+            # responses wake us; if arithmetic is still draining, wake
+            # at the writeback time so ``drained`` flips at a cycle the
+            # engine can fast-forward to.
+            if self._busy_until > self.engine.cycle:
+                return self._busy_until
+            if self._outstanding == 0 and self.core is not None:
+                # fully drained: a core napping on fence/halt proceeds
+                self.engine.wake(self.core)
+            return IDLE
         instr, addr, int_value, streamed, stagger = micro
+        self._block = None
         if self._issue(instr, addr, int_value, streamed, stagger):
             self._advance()
             self.engine.note_progress()
+            if not self.queue and self._loop is None and self.core is not None:
+                # queue drained by this issue: a core napping on a
+                # fence/halt must re-evaluate (and re-nap until
+                # _busy_until if only writeback time remains)
+                self.engine.wake(self.core)
+            return None
+        block = self._block
+        if block is None:
+            return None
+        if block is _STREAM or block is _LSU or block == _WAIT_MEM:
+            # stream back-pressure / LSU grants / load responses resolve
+            # within a cycle or two in steady state: polling is cheaper
+            # than a sleep/wake round-trip per stall
+            return None
+        cycle = self.engine.cycle
+        if block - cycle < 4:
+            return None
+        # long timed RAW (writeback latency): wake exactly at readiness
+        self._stall_backfill = (cycle, block)  # cause is the ready cycle
+        return block
 
     def _select(self):
         """Pick this cycle's micro-op; manages FREP capture/replay."""
@@ -181,11 +235,17 @@ class FpuSubsystem:
         if lane is not None:
             if not lane.can_pop:
                 self.stall_stream += 1
+                self._block = _STREAM
                 return False
             return True
         ready = self._ready.get(reg, 0)
-        if ready == _WAIT_MEM or ready > self.engine.cycle:
+        if ready == _WAIT_MEM:
             self.stall_raw += 1
+            self._block = _WAIT_MEM
+            return False
+        if ready > self.engine.cycle:
+            self.stall_raw += 1
+            self._block = ready
             return False
         return True
 
@@ -200,6 +260,7 @@ class FpuSubsystem:
         if lane is not None:
             if not lane.can_push:
                 self.stall_stream += 1
+                self._block = _STREAM
                 return False
         return True
 
@@ -234,6 +295,7 @@ class FpuSubsystem:
         if op == "fld":
             if not self.lsu_slot.idle:
                 self.stall_lsu += 1
+                self._block = _LSU
                 return False
             self._ready[rd] = _WAIT_MEM
             self._outstanding += 1
@@ -244,6 +306,7 @@ class FpuSubsystem:
         if op == "fsd":
             if not self.lsu_slot.idle:
                 self.stall_lsu += 1
+                self._block = _LSU
                 return False
             if not self._src_ready(rs2, streamed):
                 return False
@@ -314,6 +377,10 @@ class FpuSubsystem:
         self.fregs[rd] = value
         self._ready[rd] = self.engine.cycle
         self._outstanding -= 1
+        if self.core is not None:
+            # delivered at the event phase: a core napping on halt's
+            # drain condition sees it this very cycle, as in dense mode
+            self.engine.wake(self.core)
 
     def _complete_to_int(self, rd, value):
         self.core.int_result_deliver(rd, value)

@@ -14,6 +14,8 @@ itself always hits (the paper's kernels fit easily).
 
 from collections import deque
 
+from repro.sim.engine import IDLE
+
 #: Instructions per cache line.
 LINE_WORDS = 8
 #: L0 lines per core. Snitch's L0 holds ~128 B; with RVC compression
@@ -29,9 +31,15 @@ class IdealICache:
     def fetch(self, pc):
         return True
 
+    def backfill_hits(self, n):
+        """No hit counters to replay for napped fetch cycles."""
+
 
 class SharedL1:
     """A per-hive refill server: one L0 line refill per cycle."""
+
+    _q_state = 0
+    _q_gen = 0
 
     def __init__(self, engine, name="l1i"):
         self.engine = engine
@@ -42,14 +50,16 @@ class SharedL1:
 
     def request(self, l0, line):
         self._queue.append((l0, line))
+        self.engine.wake(self)
 
     def tick(self):
         if not self._queue:
-            return
+            return IDLE  # request() wakes us
         self.wait_cycles += len(self._queue) - 1
         l0, line = self._queue.popleft()
         self.refills += 1
         self.engine.at(self.engine.cycle + L1_LATENCY, l0.refill, line)
+        return None
 
 
 class L0ICache:
@@ -78,3 +88,7 @@ class L0ICache:
     def refill(self, line):
         self._lines.append(line)
         self._pending = None
+
+    def backfill_hits(self, n):
+        """Replay the hits of ``n`` napped fetch polls (same line)."""
+        self.hits += n

@@ -39,7 +39,7 @@ class TestClusterCsrmv:
         cl = SnitchCluster()
         job = ClusterCsrmv(cl, m, x, tile_rows=64)
         assert len(job.tiles) == 4
-        cl.engine._components.insert(0, job)
+        cl.engine.add_front(job)
         cl.engine.run(lambda: job.done)
         assert np.allclose(job.result(), m.spmv(x))
 

@@ -1,0 +1,193 @@
+"""Differential property tests: event-driven engine ≡ dense engine.
+
+The quiescence protocol's contract (docs/ARCHITECTURE.md) is absolute:
+``Engine(mode="event")`` must produce *bit-identical results*,
+*identical cycle counts*, and *identical statistics* versus the legacy
+tick-everything loop kept as ``Engine(mode="dense")``. These tests run
+randomized workloads through both modes across kernels (CsrMV, SpVV,
+masked SpVV, SpGEMM, CG), variants (BASE/SSR/ISSR), index widths, and
+cluster counts (single CC, one cluster, four clusters behind an HBM
+fabric), and compare everything the experiments ever read.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster.runtime import run_cluster_csrmv
+from repro.kernels.csrmv import run_csrmv
+from repro.kernels.masked import run_masked_spvv
+from repro.kernels.spgemm import run_spgemm
+from repro.kernels.spvv import run_spvv
+from repro.multicluster import run_multicluster
+from repro.sim.engine import engine_mode
+from repro.solvers.cg import solve_cg
+from repro.workloads import (
+    random_csr,
+    random_dense_vector,
+    random_fiber_pair,
+    random_sparse_vector,
+    random_spd_csr,
+)
+
+#: Every scalar RunStats field the experiments/claims read.
+STAT_FIELDS = (
+    "cycles", "retired", "fpu_compute_ops", "fpu_mac_ops",
+    "fpu_issued_ops", "fpu_stall_stream", "fpu_stall_raw",
+    "core_stall_cycles", "first_mac_cycle", "last_mac_cycle",
+    "mem_reads", "mem_writes", "tcdm_conflicts", "icache_misses",
+    "dma_words", "dma_busy_cycles",
+)
+
+
+def run_both(fn):
+    """Run ``fn`` under both engine modes; returns (dense, event) outputs."""
+    with engine_mode("dense"):
+        dense = fn()
+    with engine_mode("event"):
+        event = fn()
+    return dense, event
+
+
+def assert_stats_equal(dense, event, label=""):
+    for field in STAT_FIELDS:
+        dv, ev = getattr(dense, field), getattr(event, field)
+        assert dv == ev, f"{label}: {field} dense={dv} event={ev}"
+    assert dense.lanes == event.lanes, f"{label}: per-lane stats differ"
+
+
+def assert_run_equal(dense, event, label=""):
+    sd, rd = dense
+    se, re_ = event
+    assert_stats_equal(sd, se, label)
+    assert np.asarray(rd).tobytes() == np.asarray(re_).tobytes(), \
+        f"{label}: results not bit-identical"
+
+
+class TestSingleCC:
+    @pytest.mark.parametrize("variant,bits", [
+        ("base", 32), ("ssr", 32), ("issr", 32), ("issr", 16),
+    ])
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_csrmv(self, variant, bits, seed):
+        rng = np.random.default_rng(seed)
+        nrows = int(rng.integers(3, 24))
+        ncols = 64
+        nnz = int(rng.integers(nrows, nrows * 12))
+        m = random_csr(nrows, ncols, nnz, seed=seed + 17)
+        x = random_dense_vector(ncols, seed=seed)
+        dense, event = run_both(lambda: run_csrmv(m, x, variant, bits))
+        assert_run_equal(dense, event, f"csrmv/{variant}{bits}/s{seed}")
+
+    @pytest.mark.parametrize("variant,bits", [
+        ("base", 32), ("ssr", 32), ("issr", 16),
+    ])
+    def test_spvv(self, variant, bits):
+        fiber = random_sparse_vector(96, 23, seed=3)
+        x = random_dense_vector(96, seed=4)
+        dense, event = run_both(lambda: run_spvv(fiber, x, variant, bits))
+        assert_run_equal(dense, event, f"spvv/{variant}{bits}")
+
+
+class TestSparseSparse:
+    @pytest.mark.parametrize("variant", ["base", "issr"])
+    def test_masked_spvv(self, variant):
+        a, b = random_fiber_pair(256, 31, 27, 0.3, seed=9)
+        dense, event = run_both(
+            lambda: run_masked_spvv(a, b, variant, 32))
+        assert_run_equal(dense, event, f"masked_spvv/{variant}")
+
+    def test_spgemm(self):
+        a = random_csr(10, 24, 50, seed=11)
+        b = random_csr(24, 16, 60, seed=12)
+
+        def go():
+            stats, c = run_spgemm(a, b, "issr", 32)
+            return stats, c.to_dense()
+
+        dense, event = run_both(go)
+        assert_run_equal(dense, event, "spgemm/issr32")
+
+
+class TestCluster:
+    @pytest.mark.parametrize("variant,bits", [("base", 32), ("issr", 16)])
+    def test_one_cluster(self, variant, bits):
+        m = random_csr(48, 256, 48 * 8, seed=21)
+        x = random_dense_vector(256, seed=22)
+        dense, event = run_both(
+            lambda: run_cluster_csrmv(m, x, variant, bits))
+        assert_run_equal(dense, event, f"cluster/{variant}{bits}")
+
+    def test_one_cluster_multi_tile(self):
+        """Double buffering + barriers + writebacks, both modes."""
+        m = random_csr(128, 256, 128 * 6, seed=23)
+        x = random_dense_vector(256, seed=24)
+
+        def go():
+            from repro.cluster.cluster import SnitchCluster
+            from repro.cluster.runtime import ClusterCsrmv
+            cl = SnitchCluster()
+            job = ClusterCsrmv(cl, m, x, tile_rows=32)
+            assert len(job.tiles) >= 3
+            cl.engine.add_front(job)
+            cycles = cl.engine.run(lambda: job.done)
+            return cycles, job.result()
+
+        (cd, rd), (ce, re_) = run_both(go)
+        assert cd == ce
+        assert rd.tobytes() == re_.tobytes()
+
+    @pytest.mark.parametrize("partitioner", ["row_block", "nnz_balanced"])
+    def test_four_clusters(self, partitioner):
+        m = random_csr(96, 256, 96 * 6, distribution="powerlaw", seed=25)
+        x = random_dense_vector(256, seed=26)
+        dense, event = run_both(
+            lambda: run_multicluster(m, x, n_clusters=4,
+                                     partitioner=partitioner,
+                                     backend="cycle"))
+        sd, _ = dense
+        se, _ = event
+        assert sd.hbm_words_denied == se.hbm_words_denied
+        assert_run_equal(dense, event, f"multicluster/{partitioner}")
+
+
+class TestSolvers:
+    @pytest.mark.parametrize("n_clusters", [1, 2])
+    def test_cg(self, n_clusters):
+        m = random_spd_csr(48, offdiag_per_row=4, seed=31)
+        b = random_dense_vector(48, seed=32)
+
+        def go():
+            return solve_cg(m, b, n_iters=4, backend="cycle",
+                            n_clusters=n_clusters)
+
+        with engine_mode("dense"):
+            rd = go()
+        with engine_mode("event"):
+            re_ = go()
+        assert rd.stats.cycles == re_.stats.cycles
+        assert rd.stats.dma_words == re_.stats.dma_words
+        assert rd.stats.retired == re_.stats.retired
+        assert rd.history == re_.history
+        assert rd.x.tobytes() == re_.x.tobytes()
+
+
+class TestWatchdogParity:
+    def test_deadlock_still_detected(self):
+        """A stalled stream fails loudly in both modes."""
+        from repro.errors import DeadlockError
+        from repro.isa.isa import CSR_SSR
+        from repro.isa.program import ProgramBuilder
+        from repro.sim.harness import SingleCC
+
+        for mode in ("dense", "event"):
+            with engine_mode(mode):
+                cc = SingleCC(watchdog=200)
+                b = ProgramBuilder()
+                # fence an FPU op that waits forever on stream data the
+                # lane never produces (streamer enabled, lane idle)
+                b.csrsi(CSR_SSR, 1)
+                b.fadd_d(2, 0, 1)
+                b.fence_fpu()
+                b.halt()
+                with pytest.raises(DeadlockError):
+                    cc.run(b.build())

@@ -213,8 +213,8 @@ class TestHbmModel:
         engine = Engine()
         fabric = HbmFabric(engine, HbmConfig(words_per_cycle=10))
         assert fabric.claim(None, 8) == 8
-        assert fabric.claim(None, 8) == 2  # budget exhausted
-        fabric.tick()
+        assert fabric.claim(None, 8) == 2  # budget exhausted this cycle
+        engine.step()  # next cycle: the budget renews lazily in claim()
         assert fabric.claim(None, 8) == 8
         assert fabric.words_denied == 6
 
