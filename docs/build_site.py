@@ -11,13 +11,16 @@ repo-escaping GitHub URL), and runs ``mkdocs build --strict`` so any
 remaining broken link fails the build — the CI docs job runs exactly
 this script.
 
-The experiments-catalog table in ``docs/experiments.md`` is
-*generated*, not hand-maintained: the block between the
-``experiments-registry`` markers is rendered from
+Two tables are *generated*, not hand-maintained: the
+experiments-catalog block in ``docs/experiments.md`` (between the
+``experiments-registry`` markers, rendered from
 ``repro.eval.experiments.experiment_registry()`` — the same source as
-``python -m repro.eval --list-experiments --json`` — at staging time,
-and ``--sync-registry`` writes the fresh table back into the
-committed page.
+``python -m repro.eval --list-experiments --json``) and the
+kernel-dispatch block in ``docs/kernels.md`` (between the
+``kernel-registry`` markers, rendered from ``repro.api.KERNELS`` with
+per-backend support probed through ``Backend.supports``). Both are
+refreshed at staging time, and ``--sync-registry`` writes the fresh
+tables back into the committed pages.
 
 Usage:  python docs/build_site.py [--no-build] [--sync-registry]
 """
@@ -40,6 +43,21 @@ _REGISTRY_BLOCK = re.compile(
     r"<!-- experiments-registry:begin -->.*"
     r"<!-- experiments-registry:end -->",
     re.DOTALL)
+_KERNEL_BLOCK = re.compile(
+    r"<!-- kernel-registry:begin -->.*"
+    r"<!-- kernel-registry:end -->",
+    re.DOTALL)
+
+
+def _import_repro(path):
+    """Import a repro attribute with ``src/`` temporarily on the path."""
+    sys.path.insert(0, str(REPO / "src"))
+    try:
+        module_name, attr = path.rsplit(".", 1)
+        module = __import__(module_name, fromlist=[attr])
+        return getattr(module, attr)
+    finally:
+        sys.path.pop(0)
 
 
 def registry_table():
@@ -48,17 +66,37 @@ def registry_table():
     Sourced from the same emitter as
     ``python -m repro.eval --list-experiments --json``.
     """
-    sys.path.insert(0, str(REPO / "src"))
-    try:
-        from repro.eval.experiments import experiment_registry
-    finally:
-        sys.path.pop(0)
+    experiment_registry = _import_repro(
+        "repro.eval.experiments.experiment_registry")
     lines = ["| id | experiment | output | claims |",
              "| --- | --- | --- | --- |"]
     for entry in experiment_registry():
         out = f"`{entry['output']}`" if entry["output"] else "—"
         lines.append(f"| `{entry['id']}` | {entry['name']} | {out} "
                      f"| {entry['claim_count']} |")
+    return "\n".join(lines)
+
+
+def kernel_table():
+    """Render the kernel-dispatch registry markdown table.
+
+    One row per :class:`repro.api.KernelSpec`; backend support is
+    probed live through ``Backend.supports`` so the table can never
+    disagree with what ``repro.api.run`` actually dispatches.
+    """
+    kernels = _import_repro("repro.api.KERNELS")
+    list_backends = _import_repro("repro.api.list_backends")
+    get_backend = _import_repro("repro.backends.get_backend")
+    backends = {name: get_backend(name) for name in list_backends()}
+    lines = ["| kernel | operands | result | variants | backends |",
+             "| --- | --- | --- | --- | --- |"]
+    for spec in kernels.values():
+        operands = ", ".join(f"`{name}`" for name in spec.operands)
+        support = " · ".join(name for name, backend in backends.items()
+                             if backend.supports(spec.name))
+        variants = "base · ssr · issr" if spec.has_variant else "—"
+        lines.append(f"| `{spec.name}` | {operands} | {spec.result} "
+                     f"| {variants} | {support} |")
     return "\n".join(lines)
 
 
@@ -73,11 +111,27 @@ def inject_registry(text):
     return _REGISTRY_BLOCK.sub(block, text)
 
 
+def inject_kernels(text):
+    """Replace the marker block in kernels.md with a fresh table."""
+    block = ("<!-- kernel-registry:begin -->\n"
+             + kernel_table()
+             + "\n<!-- kernel-registry:end -->")
+    if not _KERNEL_BLOCK.search(text):
+        raise SystemExit(
+            "docs/kernels.md lost its kernel-registry markers")
+    return _KERNEL_BLOCK.sub(block, text)
+
+
 def sync_registry():
-    """Rewrite the committed docs/experiments.md registry block."""
+    """Rewrite the committed generated blocks; returns the pages."""
+    pages = []
     page = REPO / "docs" / "experiments.md"
     page.write_text(inject_registry(page.read_text()))
-    return page
+    pages.append(page)
+    page = REPO / "docs" / "kernels.md"
+    page.write_text(inject_kernels(page.read_text()))
+    pages.append(page)
+    return pages
 
 
 def _rewrite(text):
@@ -97,6 +151,8 @@ def stage():
         text = md.read_text()
         if md.name == "experiments.md":
             text = inject_registry(text)
+        elif md.name == "kernels.md":
+            text = inject_kernels(text)
         (STAGING / md.name).write_text(_rewrite(text))
     for name in ROOT_PAGES:
         (STAGING / name).write_text(_rewrite((REPO / name).read_text()))
@@ -114,8 +170,8 @@ def build():
 def main(argv=None):
     argv = sys.argv[1:] if argv is None else argv
     if "--sync-registry" in argv:
-        page = sync_registry()
-        print(f"registry table refreshed in {page}")
+        for page in sync_registry():
+            print(f"registry table refreshed in {page}")
         return 0
     stage()
     if "--no-build" in argv:

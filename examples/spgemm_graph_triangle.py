@@ -51,7 +51,8 @@ def main():
     expect = int(round(((dense @ dense) * dense).sum() / 6))
 
     # Route 1: one SpGEMM, then mask by A's pattern and sum.
-    stats_mm, c = fast.spgemm(adj, adj, "issr", index_bits=16)
+    stats_mm, c = fast.run("spgemm", variant="issr", index_bits=16,
+                           a=adj, b=adj)
     total = 0.0
     for r in range(adj.nrows):
         row_c = c.row(r)
@@ -70,7 +71,9 @@ def main():
     for i in range(adj.nrows):
         row_i = adj.row(i)
         for j in row_i.indices[row_i.indices > i]:  # each edge once
-            stats, dot = fast.masked_spvv(row_i, adj.row(int(j)), "issr")
+            stats, dot = fast.run("masked_spvv", variant="issr",
+                                  fiber_a=row_i,
+                                  fiber_b=adj.row(int(j)))
             edge_dots += dot
             spvv_cycles += stats.cycles
             n_edges += 1
@@ -79,8 +82,10 @@ def main():
     # Cycle-backend spot check: one edge, bit-identical dot.
     i = int(np.argmax(adj.row_lengths()))
     j = int(adj.row(i).indices[0])
-    _, dot_fast = fast.masked_spvv(adj.row(i), adj.row(j), "issr")
-    _, dot_cycle = cycle.masked_spvv(adj.row(i), adj.row(j), "issr")
+    _, dot_fast = fast.run("masked_spvv", variant="issr",
+                           fiber_a=adj.row(i), fiber_b=adj.row(j))
+    _, dot_cycle = cycle.run("masked_spvv", variant="issr",
+                             fiber_a=adj.row(i), fiber_b=adj.row(j))
     assert dot_fast == dot_cycle, "fast backend diverged from the simulator"
 
     assert spgemm_triangles == expect, (spgemm_triangles, expect)

@@ -10,11 +10,12 @@ Occamy-style multi-cluster scale-out layer.
 Quick start::
 
     from repro.workloads import random_csr, random_dense_vector
-    from repro.backends import get_backend
+    from repro import api
 
     A = random_csr(128, 1024, 128 * 32, seed=1)
     x = random_dense_vector(1024, seed=2)
-    stats, y = get_backend("fast").csrmv(A, x, "issr", index_bits=16)
+    stats, y = api.run("csrmv", backend="fast", variant="issr",
+                       index_bits=16, matrix=A, x=x)
     print(stats.cycles, stats.fpu_utilization)
 
 Scale-out::

@@ -1,0 +1,59 @@
+"""Uniform kernel-dispatch facade over the execution backends.
+
+One entry point for every (kernel, backend) pair, driven by the
+declarative :mod:`repro.api.registry`:
+
+>>> from repro import api
+>>> stats, y = api.run("csrmv", backend="compiled", variant="issr",
+...                    index_bits=16, matrix=m, x=x)   # doctest: +SKIP
+
+Kernels are addressed by registry name, operands are keyword-only and
+validated against the registered schema, and unsupported (backend,
+kernel) pairs raise :class:`~repro.errors.UnsupportedKernelError`.
+:func:`get_backend` re-exports the backend resolver so callers need
+only this module.
+"""
+
+from repro.api.registry import KERNELS, KernelSpec, get_kernel, list_kernels
+
+
+def run(kernel, *, backend=None, variant=None, index_bits=32, check=True,
+        **operands):
+    """Execute a registered kernel; returns ``(stats, result)``.
+
+    ``kernel`` is a registry name (see :func:`list_kernels`);
+    ``backend`` a backend name, instance, or None for the default.
+    Remaining keywords are the kernel's operands per its
+    :class:`KernelSpec` schema (plus any declared extra knobs such as
+    ``cluster=`` for ``cluster_csrmv``).
+    """
+    from repro.backends import get_backend as _resolve
+
+    return _resolve(backend).run(kernel, variant=variant,
+                                 index_bits=index_bits, check=check,
+                                 **operands)
+
+
+def get_backend(spec=None):
+    """Resolve a backend name/instance (see :func:`repro.backends.get_backend`)."""
+    from repro.backends import get_backend as _resolve
+
+    return _resolve(spec)
+
+
+def list_backends():
+    """Registered backend names, in registry order."""
+    from repro.backends import BACKENDS
+
+    return list(BACKENDS)
+
+
+__all__ = [
+    "KERNELS",
+    "KernelSpec",
+    "get_backend",
+    "get_kernel",
+    "list_backends",
+    "list_kernels",
+    "run",
+]

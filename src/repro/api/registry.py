@@ -1,0 +1,119 @@
+"""The declarative kernel registry behind the dispatch surface.
+
+Every kernel the backends can execute is described once, as data, by a
+:class:`KernelSpec`: its name, the operand schema (positional order and
+names), the result type, the cycle-tolerance family it validates
+against, and whether it is a cluster-level kernel. Backends implement
+capabilities as ``_exec_<name>`` methods and the base
+:meth:`~repro.backends.base.Backend.run` resolves every call through
+this registry, so experiments, the CLI, and tests all see one uniform
+surface — and unsupported (backend, kernel) pairs fail with a single
+well-typed :class:`~repro.errors.UnsupportedKernelError`.
+
+The registry deliberately lives below :mod:`repro.backends` (it
+imports nothing but :mod:`repro.errors`), so both the backends and the
+:mod:`repro.api` facade can import it without cycles.
+"""
+
+from repro.errors import ConfigError
+
+#: Result kinds a kernel can produce (second element of the
+#: ``(stats, result)`` pair every backend returns).
+RESULT_KINDS = ("scalar", "vector", "dense", "csr", "tensor")
+
+
+class KernelSpec:
+    """One registered kernel: name, operand schema, and contracts."""
+
+    __slots__ = ("name", "operands", "result", "tolerance_key",
+                 "cluster_capable", "has_variant", "extra_kwargs", "doc")
+
+    def __init__(self, name, operands, result, tolerance_key,
+                 cluster_capable=False, has_variant=True,
+                 extra_kwargs=(), doc=""):
+        if result not in RESULT_KINDS:
+            raise ConfigError(
+                f"kernel {name!r}: unknown result kind {result!r}")
+        self.name = name
+        #: Operand names in the canonical positional order.
+        self.operands = tuple(operands)
+        self.result = result
+        #: Key into the backends' CYCLE_TOLERANCE table.
+        self.tolerance_key = tolerance_key
+        #: True for kernels executed by a whole cluster (multi-core).
+        self.cluster_capable = cluster_capable
+        #: False for kernels without a BASE/SSR/ISSR variant axis.
+        self.has_variant = has_variant
+        #: Optional keyword arguments forwarded to the implementation
+        #: (backend-specific knobs like ``cluster=`` or ``pattern=``).
+        self.extra_kwargs = tuple(extra_kwargs)
+        self.doc = doc
+
+    def validate_operands(self, operands):
+        """Check an operand dict against the schema; returns it.
+
+        Missing or unknown operand names raise :class:`ConfigError`
+        listing the canonical schema, so every dispatch failure reads
+        the same way regardless of backend.
+        """
+        missing = [o for o in self.operands if o not in operands]
+        unknown = [o for o in operands
+                   if o not in self.operands and o not in self.extra_kwargs]
+        if missing or unknown:
+            problems = []
+            if missing:
+                problems.append(f"missing {missing}")
+            if unknown:
+                problems.append(f"unknown {unknown}")
+            raise ConfigError(
+                f"kernel {self.name!r} operands {'; '.join(problems)}; "
+                f"schema is ({', '.join(self.operands)})")
+        return operands
+
+    def __repr__(self):
+        return (f"KernelSpec({self.name}, operands={self.operands}, "
+                f"result={self.result!r}, tol={self.tolerance_key!r})")
+
+
+#: The kernel registry, in the order the docs/CLI list them. The
+#: tolerance keys must stay in sync with
+#: :data:`repro.backends.model.KERNEL_TOLERANCE` (asserted by
+#: ``tests/test_api.py``).
+KERNELS = {spec.name: spec for spec in (
+    KernelSpec("spvv", ("fiber", "x"), "scalar", "single",
+               doc="sparse-dense dot product (§III-B)"),
+    KernelSpec("csrmv", ("matrix", "x"), "vector", "single",
+               doc="CSR matrix-vector product (§III-B)"),
+    KernelSpec("csrmm", ("matrix", "dense"), "dense", "single",
+               doc="CSR matrix-matrix product (column-looped CsrMV)"),
+    KernelSpec("ttv", ("tensor", "vector"), "tensor", "single",
+               has_variant=False,
+               doc="CSF tensor-times-vector over the leaf mode"),
+    KernelSpec("masked_spvv", ("fiber_a", "fiber_b"), "scalar", "masked",
+               doc="sparse-sparse masked dot product (intersection)"),
+    KernelSpec("masked_csrmv", ("matrix", "x_fiber"), "vector", "masked",
+               doc="CSR times sparse vector, dense output"),
+    KernelSpec("spgemm", ("a", "b"), "csr", "spgemm",
+               extra_kwargs=("pattern",),
+               doc="Gustavson CSR x CSR product (numeric phase)"),
+    KernelSpec("cluster_csrmv", ("matrix", "x"), "vector", "cluster",
+               cluster_capable=True,
+               extra_kwargs=("cluster", "max_cycles", "tile_rows",
+                             "n_workers", "watchdog"),
+               doc="double-buffered 8-core cluster CsrMV (§IV-B)"),
+)}
+
+
+def get_kernel(name):
+    """Resolve a kernel name to its :class:`KernelSpec`."""
+    try:
+        return KERNELS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown kernel {name!r}; registered kernels: "
+            f"{', '.join(KERNELS)}") from None
+
+
+def list_kernels():
+    """Registered kernel names, in registry order."""
+    return list(KERNELS)

@@ -1,15 +1,20 @@
 """Pluggable kernel-execution backends (see :mod:`repro.backends.base`).
 
-Both backends execute the paper's §III kernels and the §IV-B cluster
-runtime; ``cycle`` measures, ``fast`` replays + predicts
-(bit-identical results, cycles within :data:`CYCLE_TOLERANCE`).
+All backends execute the paper's §III kernels and the §IV-B cluster
+runtime through the same registry dispatch surface
+(:meth:`~repro.backends.base.Backend.run`): ``cycle`` measures,
+``fast`` replays + predicts, and ``compiled`` lowers the assembled
+programs through :mod:`repro.compiler` (both non-cycle backends give
+bit-identical results, cycles within :data:`CYCLE_TOLERANCE`).
 
 >>> from repro.backends import get_backend
->>> backend = get_backend("fast")
->>> stats, y = backend.csrmv(matrix, x, "issr", 16)   # doctest: +SKIP
+>>> backend = get_backend("compiled")
+>>> stats, y = backend.run("csrmv", variant="issr", index_bits=16,
+...                        matrix=matrix, x=x)   # doctest: +SKIP
 """
 
 from repro.backends.base import Backend
+from repro.backends.compiled import CompiledBackend
 from repro.backends.cycle import CycleBackend
 from repro.backends.fast import FastBackend
 from repro.backends.model import (
@@ -26,6 +31,7 @@ from repro.errors import ConfigError
 BACKENDS = {
     CycleBackend.name: CycleBackend,
     FastBackend.name: FastBackend,
+    CompiledBackend.name: CompiledBackend,
 }
 
 DEFAULT_BACKEND = CycleBackend.name
@@ -54,6 +60,7 @@ __all__ = [
     "Backend",
     "CYCLE_SLACK",
     "CYCLE_TOLERANCE",
+    "CompiledBackend",
     "CycleBackend",
     "KERNEL_TOLERANCE",
     "cycle_error",

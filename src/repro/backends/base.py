@@ -1,65 +1,155 @@
-"""The execution-backend interface.
+"""The execution-backend interface and its dispatch surface.
 
 A backend decouples *what a kernel computes* (the §III-B kernels and
-the §IV-B cluster runtime) from *how it is executed*.
-Every method takes the same operands as the corresponding
-``repro.kernels``/``repro.cluster`` entry point and returns the same
-``(stats, result)`` pair, where ``stats`` is a
-:class:`~repro.sim.counters.RunStats` (or
-:class:`~repro.cluster.runtime.ClusterStats`) and ``result`` the
-numerical output:
+the §IV-B cluster runtime) from *how it is executed*. Kernels are
+described declaratively in :mod:`repro.api.registry`; a backend
+implements a capability by defining an ``_exec_<kernel>`` method with
+the registry's operand schema, and every call — from experiments, the
+CLI, tests, or the legacy per-kernel methods — resolves through
+:meth:`Backend.run`:
 
 - :class:`~repro.backends.cycle.CycleBackend` pushes every instruction
   through the cycle-stepped engine — exact, slow;
 - :class:`~repro.backends.fast.FastBackend` executes functionally with
   vectorized NumPy and predicts cycles with analytic models — fast,
-  bit-identical results, cycles within a documented tolerance.
+  bit-identical results, cycles within a documented tolerance;
+- :class:`~repro.backends.compiled.CompiledBackend` lowers the *same
+  assembled programs* the cycle engine runs through
+  :mod:`repro.compiler` into fused vectorized closures — fast,
+  bit-identical, cycles derived from the recovered program structure.
 
-Experiments accept ``backend=`` (a name or an instance) and resolve it
-with :func:`repro.backends.get_backend`.
+Every kernel returns the same ``(stats, result)`` pair, where
+``stats`` is a :class:`~repro.sim.counters.RunStats` (or
+:class:`~repro.cluster.runtime.ClusterStats`) and ``result`` the
+numerical output. Experiments accept ``backend=`` (a name or an
+instance) and resolve it with :func:`repro.backends.get_backend`.
+
+The old flat per-kernel methods (``backend.csrmv(...)`` etc.) still
+work but are deprecation shims: each forwards through :meth:`run` and
+emits a :class:`DeprecationWarning` once per (backend class, kernel).
 """
+
+import warnings
+
+from repro.api.registry import KERNELS, get_kernel
+from repro.errors import UnsupportedKernelError
+
+#: (backend class name, kernel) pairs that already warned — the legacy
+#: shims emit each DeprecationWarning once, not per call.
+_WARNED_SHIMS = set()
 
 
 class Backend:
-    """Abstract kernel-execution backend."""
+    """Abstract kernel-execution backend.
+
+    Subclasses implement kernels as ``_exec_<name>`` methods matching
+    the :mod:`repro.api.registry` operand schema and are invoked
+    uniformly through :meth:`run`.
+    """
 
     #: Registry name; subclasses override.
     name = "abstract"
 
+    # -- dispatch surface -------------------------------------------------
+
+    def run(self, kernel, *, variant=None, index_bits=32, check=True,
+            **operands):
+        """Execute a registered kernel; returns ``(stats, result)``.
+
+        ``kernel`` is a name from :data:`repro.api.registry.KERNELS`
+        (or a :class:`~repro.api.registry.KernelSpec`). Operands are
+        keyword-only and validated against the registry schema;
+        ``variant``/``index_bits``/``check`` follow the kernel entry
+        points' conventions (kernels without a variant axis ignore
+        ``variant``). Raises
+        :class:`~repro.errors.UnsupportedKernelError` when this
+        backend has no implementation.
+        """
+        spec = kernel if hasattr(kernel, "operands") else get_kernel(kernel)
+        impl = getattr(self, f"_exec_{spec.name}", None)
+        if impl is None:
+            raise UnsupportedKernelError(self.name, spec.name,
+                                         supported=self.kernels())
+        spec.validate_operands(operands)
+        kwargs = dict(operands)
+        if spec.has_variant:
+            defaults = {"cluster_csrmv": ("issr", 16)}
+            dflt_variant, dflt_bits = defaults.get(spec.name, ("issr", 32))
+            kwargs["variant"] = dflt_variant if variant is None else variant
+            kwargs["index_bits"] = index_bits
+        else:
+            kwargs["index_bits"] = index_bits
+        kwargs["check"] = check
+        return impl(**kwargs)
+
+    def supports(self, kernel):
+        """True when this backend implements ``kernel``."""
+        name = kernel.name if hasattr(kernel, "name") else kernel
+        return hasattr(self, f"_exec_{name}")
+
+    def kernels(self):
+        """Registered kernel names this backend implements."""
+        return [name for name in KERNELS if self.supports(name)]
+
+    # -- legacy per-kernel shims ------------------------------------------
+
+    def _shim(self, kernel, operands, variant=None, index_bits=32,
+              check=True, **extra):
+        """Forward a legacy per-kernel call through :meth:`run`."""
+        key = (type(self).__name__, kernel)
+        if key not in _WARNED_SHIMS:
+            _WARNED_SHIMS.add(key)
+            warnings.warn(
+                f"Backend.{kernel}(...) is deprecated; use "
+                f"backend.run({kernel!r}, ...) or repro.api.run",
+                DeprecationWarning, stacklevel=3)
+        return self.run(kernel, variant=variant, index_bits=index_bits,
+                        check=check, **operands, **extra)
+
     def spvv(self, fiber, x, variant, index_bits=32, check=True):
-        """Sparse-dense dot product; returns (stats, float result)."""
-        raise NotImplementedError
+        """Deprecated: use ``run("spvv", fiber=..., x=...)``."""
+        return self._shim("spvv", {"fiber": fiber, "x": x}, variant,
+                          index_bits, check)
 
     def csrmv(self, matrix, x, variant, index_bits=32, check=True):
-        """CSR matrix-vector product; returns (stats, y)."""
-        raise NotImplementedError
+        """Deprecated: use ``run("csrmv", matrix=..., x=...)``."""
+        return self._shim("csrmv", {"matrix": matrix, "x": x}, variant,
+                          index_bits, check)
 
     def csrmm(self, matrix, dense, variant, index_bits=32, check=True):
-        """CSR matrix-matrix product; returns (stats, C)."""
-        raise NotImplementedError
+        """Deprecated: use ``run("csrmm", matrix=..., dense=...)``."""
+        return self._shim("csrmm", {"matrix": matrix, "dense": dense},
+                          variant, index_bits, check)
 
     def ttv(self, tensor, vector, index_bits=32, check=True):
-        """CSF tensor-times-vector; returns (stats, dense tensor)."""
-        raise NotImplementedError
+        """Deprecated: use ``run("ttv", tensor=..., vector=...)``."""
+        return self._shim("ttv", {"tensor": tensor, "vector": vector},
+                          None, index_bits, check)
 
     def masked_spvv(self, fiber_a, fiber_b, variant, index_bits=32,
                     check=True):
-        """Sparse-sparse masked dot product; returns (stats, float)."""
-        raise NotImplementedError
+        """Deprecated: use ``run("masked_spvv", fiber_a=..., ...)``."""
+        return self._shim("masked_spvv",
+                          {"fiber_a": fiber_a, "fiber_b": fiber_b},
+                          variant, index_bits, check)
 
     def masked_csrmv(self, matrix, x_fiber, variant, index_bits=32,
                      check=True):
-        """CSR times sparse vector (dense output); returns (stats, y)."""
-        raise NotImplementedError
+        """Deprecated: use ``run("masked_csrmv", matrix=..., ...)``."""
+        return self._shim("masked_csrmv",
+                          {"matrix": matrix, "x_fiber": x_fiber},
+                          variant, index_bits, check)
 
-    def spgemm(self, a, b, variant, index_bits=32, check=True):
-        """CSR x CSR product; returns (stats, CsrMatrix)."""
-        raise NotImplementedError
+    def spgemm(self, a, b, variant, index_bits=32, check=True, **kwargs):
+        """Deprecated: use ``run("spgemm", a=..., b=...)``."""
+        return self._shim("spgemm", {"a": a, "b": b}, variant,
+                          index_bits, check, **kwargs)
 
     def cluster_csrmv(self, matrix, x, variant="issr", index_bits=16,
                       check=True, **kwargs):
-        """Multi-core double-buffered CsrMV; returns (stats, y)."""
-        raise NotImplementedError
+        """Deprecated: use ``run("cluster_csrmv", matrix=..., x=...)``."""
+        return self._shim("cluster_csrmv", {"matrix": matrix, "x": x},
+                          variant, index_bits, check, **kwargs)
 
     def __repr__(self):
         return f"<{type(self).__name__} {self.name!r}>"

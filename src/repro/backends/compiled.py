@@ -1,0 +1,236 @@
+"""Compiled backend: lower assembled programs to fused closures.
+
+The third execution backend. Where ``cycle`` simulates every
+instruction and ``fast`` replays each kernel from its *name*, the
+compiled backend starts from the *same assembled ISA program* the
+cycle engine would run, pushes it through the
+:mod:`repro.compiler` pass pipeline (decode -> structure recovery ->
+template match), and executes the resulting fused vectorized closure.
+Everything downstream of the program is **recovered, not assumed**:
+the variant, index width, and accumulator count that parameterize both
+the closure and the analytic timing derivation come from the lowered
+:class:`~repro.compiler.templates.CompiledKernel`, and a program only
+executes if its normalized instruction stream exactly matches a
+canonical op template (otherwise
+:class:`~repro.errors.LoweringError`).
+
+Results are bit-identical to the cycle engine (shared replay
+primitives, :mod:`repro.compiler.vectorize` — the ISSR kernels'
+staggered accumulation of §III-B/Listing 1 is replayed exactly);
+cycle counts come from the same analytic contract
+:mod:`repro.backends.model` documents (the §IV-A issue rates), so
+the documented ``CYCLE_TOLERANCE`` keys apply unchanged. Lowered
+kernels are cached in the shared program cache and their closures are
+memoized per shape class, so steady-state dispatch is two dict hits.
+"""
+
+import numpy as np
+
+from repro.backends.base import Backend
+from repro.backends.model import (
+    cluster_csrmv_stats,
+    csrmm_stats,
+    csrmv_stats,
+    masked_csrmv_stats,
+    masked_spvv_stats,
+    spgemm_stats,
+    spvv_stats,
+)
+from repro.compiler.templates import csr_shape_class, lower
+from repro.compiler.vectorize import (
+    chain_from_zero,
+    masked_products,
+    spgemm_numeric,
+    spvv_value,
+)
+from repro.core.intersect import merge_profile
+from repro.errors import ConfigError, FormatError, LoweringError
+from repro.formats.builder import spgemm_pattern
+from repro.formats.csf import CsfTensor
+from repro.formats.csr import CsrMatrix
+from repro.kernels.common import check_index_bits, check_variant
+from repro.kernels.ttv import _nonleaf_coords
+
+
+class CompiledBackend(Backend):
+    """Execute kernels by lowering their assembled programs."""
+
+    name = "compiled"
+
+    @staticmethod
+    def _lower(build, family, variant, index_bits):
+        """Build the canonical program and lower it (both cached).
+
+        The recovered identity must round-trip to the requested one —
+        a mismatch would mean the builder and the template set have
+        diverged, which is a programming error worth failing loudly on.
+        """
+        check_variant(variant)
+        check_index_bits(index_bits)
+        program, _meta = build(variant, index_bits)
+        kernel = lower(program, family_hint=family)
+        if (kernel.family, kernel.variant,
+                kernel.index_bits) != (family, variant, index_bits):
+            raise LoweringError(
+                f"program {program.name!r} lowered to {kernel!r}, "
+                f"expected ({family}, {variant}, {index_bits})")
+        return kernel
+
+    def _exec_spvv(self, fiber, x, variant, index_bits=32, check=True):
+        """Lower the SpVV program; run its fused reduction closure."""
+        from repro.kernels.spvv import build_spvv
+
+        kernel = self._lower(build_spvv, "spvv", variant, index_bits)
+        x = np.asarray(x, dtype=np.float64)
+        products = np.asarray(fiber.values, dtype=np.float64) \
+            * x[np.asarray(fiber.indices, dtype=np.int64)]
+        result = spvv_value(products, kernel.variant, kernel.index_bits)
+        return spvv_stats(fiber.nnz, kernel.variant,
+                          kernel.index_bits), result
+
+    def _exec_csrmv(self, matrix, x, variant, index_bits=32, check=True):
+        """Lower the CsrMV program; run its shape-class closure."""
+        from repro.kernels.csrmv import build_csrmv
+
+        kernel = self._lower(build_csrmv, "csrmv", variant, index_bits)
+        x = np.asarray(x, dtype=np.float64)
+        products = matrix.vals * x[matrix.idcs]
+        reducer = kernel.row_reducer(csr_shape_class(matrix.ptr))
+        y = reducer(products, matrix.ptr, matrix.nrows)
+        stats = csrmv_stats(matrix.row_lengths(), kernel.variant,
+                            kernel.index_bits)
+        return stats, y
+
+    def _exec_csrmm(self, matrix, dense, variant, index_bits=32,
+                    check=True):
+        """Lower the CsrMM program; run one fused pass per column."""
+        from repro.kernels.csrmm import build_csrmm
+
+        kernel = self._lower(build_csrmm, "csrmm", variant, index_bits)
+        dense = np.asarray(dense, dtype=np.float64)
+        k = dense.shape[1]
+        if k & (k - 1):
+            raise ValueError(f"dense column count {k} must be a power of two")
+        gathered = dense[matrix.idcs]          # (nnz, k)
+        reducer = kernel.row_reducer(csr_shape_class(matrix.ptr))
+        out = np.empty((matrix.nrows, k), dtype=np.float64)
+        for c in range(k):                     # kernel iterates columns outer
+            products = matrix.vals * gathered[:, c]
+            out[:, c] = reducer(products, matrix.ptr, matrix.nrows)
+        stats = csrmm_stats(matrix.row_lengths(), k, kernel.variant,
+                            kernel.index_bits)
+        return stats, out
+
+    def _exec_ttv(self, tensor, vector, index_bits=32, check=True):
+        """Lower the leaf-level CsrMV program; scatter fiber results.
+
+        TTV executes the CsrMV ISSR program over the concatenated leaf
+        fibers (see :mod:`repro.kernels.ttv`), so that is the program
+        lowered here.
+        """
+        from repro.kernels.csrmv import build_csrmv
+
+        if not isinstance(tensor, CsfTensor):
+            raise FormatError("ttv expects a CsfTensor")
+        vector = np.asarray(vector, dtype=np.float64)
+        if len(vector) < tensor.shape[-1]:
+            raise FormatError("vector shorter than the tensor's leaf mode")
+        kernel = self._lower(build_csrmv, "csrmv", "issr", index_bits)
+        leaf_ptr = np.asarray(tensor.ptrs[-1], dtype=np.int64)
+        products = np.asarray(tensor.vals, dtype=np.float64) \
+            * vector[np.asarray(tensor.idcs[-1], dtype=np.int64)]
+        reducer = kernel.row_reducer(csr_shape_class(leaf_ptr))
+        fiber_results = reducer(products, leaf_ptr, len(leaf_ptr) - 1)
+        out = np.zeros(tensor.shape[:-1], dtype=np.float64)
+        for node, coord in enumerate(_nonleaf_coords(tensor)):
+            out[coord] = fiber_results[node]
+        stats = csrmv_stats(np.diff(leaf_ptr), kernel.variant,
+                            kernel.index_bits)
+        return stats, out
+
+    def _exec_masked_spvv(self, fiber_a, fiber_b, variant, index_bits=32,
+                          check=True):
+        """Lower the masked-dot program; replay the merge-order chain."""
+        from repro.kernels.masked import build_masked_spvv
+
+        kernel = self._lower(build_masked_spvv, "masked_spvv", variant,
+                             index_bits)
+        products = masked_products(fiber_a.indices, fiber_a.values,
+                                   fiber_b.indices, fiber_b.values)
+        result = chain_from_zero(products)
+        profile = merge_profile(fiber_a.indices, fiber_b.indices)
+        stats = masked_spvv_stats(profile, fiber_a.nnz, fiber_b.nnz,
+                                  kernel.variant, kernel.index_bits)
+        return stats, result
+
+    def _exec_masked_csrmv(self, matrix, x_fiber, variant, index_bits=32,
+                           check=True):
+        """Lower the masked CsrMV program; replay the per-row merges."""
+        from repro.kernels.masked import build_masked_csrmv
+
+        kernel = self._lower(build_masked_csrmv, "masked_csrmv", variant,
+                             index_bits)
+        y = np.zeros(matrix.nrows, dtype=np.float64)
+        profiles = []
+        if x_fiber.nnz:
+            for r in range(matrix.nrows):
+                lo, hi = int(matrix.ptr[r]), int(matrix.ptr[r + 1])
+                if hi == lo:
+                    continue
+                products = masked_products(
+                    matrix.idcs[lo:hi], matrix.vals[lo:hi],
+                    x_fiber.indices, x_fiber.values)
+                y[r] = chain_from_zero(products)
+                profiles.append(merge_profile(matrix.idcs[lo:hi],
+                                              x_fiber.indices))
+        stats = masked_csrmv_stats(profiles, matrix.row_lengths(),
+                                   x_fiber.nnz, kernel.variant,
+                                   kernel.index_bits)
+        return stats, y
+
+    def _exec_spgemm(self, a, b, variant, index_bits=32, check=True,
+                     pattern=None):
+        """Lower the SpGEMM numeric program; replay Gustavson's order."""
+        from repro.kernels.spgemm import build_spgemm
+
+        kernel = self._lower(build_spgemm, "spgemm", variant, index_bits)
+        if a.ncols != b.nrows:
+            raise FormatError(
+                f"spgemm shape mismatch: {a.shape} @ {b.shape}")
+        ptr, idcs = pattern if pattern is not None else spgemm_pattern(a, b)
+        vals, counters = spgemm_numeric(a, b, ptr, idcs)
+        c = CsrMatrix(ptr, idcs, vals, (a.nrows, b.ncols))
+        stats = spgemm_stats(counters["n_pattern"], counters["n_skip"],
+                             int(ptr[-1]), counters["n_a"], counters["n_k"],
+                             counters["flops"], kernel.variant,
+                             kernel.index_bits)
+        return stats, c
+
+    def _exec_cluster_csrmv(self, matrix, x, variant="issr", index_bits=16,
+                            check=True, cluster=None, max_cycles=None,
+                            **kwargs):
+        """Lower the per-worker CsrMV program; model the §IV-B schedule.
+
+        Every worker core runs the same single-CC CsrMV program on its
+        row tiles, so that program is what gets lowered; the cluster
+        schedule (DMA double-buffering, barriers) is the analytic model
+        both non-cycle backends share.
+        """
+        from repro.kernels.csrmv import build_csrmv
+
+        if kwargs:
+            raise ConfigError(
+                f"CompiledBackend.cluster_csrmv does not model "
+                f"{sorted(kwargs)}")
+        kernel = self._lower(build_csrmv, "csrmv", variant, index_bits)
+        x = np.asarray(x, dtype=np.float64)
+        products = matrix.vals * x[matrix.idcs]
+        reducer = kernel.row_reducer(csr_shape_class(matrix.ptr))
+        y = reducer(products, matrix.ptr, matrix.nrows)
+        model_kwargs = {}
+        if cluster is not None:  # honor a custom cluster configuration
+            model_kwargs["n_workers"] = cluster.n_workers
+            model_kwargs["tcdm_words"] = cluster.tcdm.storage.size // 8
+        stats = cluster_csrmv_stats(matrix, kernel.variant,
+                                    kernel.index_bits, **model_kwargs)
+        return stats, y

@@ -1,23 +1,14 @@
 """Fast functional backend: vectorized NumPy compute + analytic timing.
 
-Results are **bit-identical** to the cycle backend: the simulator's FPU
-evaluates ``fmadd.d`` as the Python expression ``a * b + c`` (two
-roundings), so replaying each kernel's exact accumulation order with
-IEEE-754 double operations reproduces its output to the last bit. The
-orders differ per variant (§III-B, Listing 1):
-
-- BASE/SSR accumulate each row left to right from ``0.0``;
-- ISSR short rows start from the first product (``fmul``) and chain;
-- ISSR long rows initialize ``n_acc`` accumulators with the first
-  ``n_acc`` products, stagger the remaining products round-robin
-  (product ``n_acc + i`` lands on accumulator ``i % n_acc``), then
-  combine with the same balanced fadd tree the kernel emits.
-
-Rows are processed grouped by nonzero count, so the work is a small
-number of NumPy passes regardless of the matrix size.
-
-Cycle counts and performance counters come from
-:mod:`repro.backends.model`.
+Results are **bit-identical** to the cycle backend; the replay
+primitives live in :mod:`repro.compiler.vectorize` (shared with the
+compiled backend's fused closures) and reproduce each kernel's exact
+accumulation order — the staggered ISSR accumulators and balanced
+reduction tree of §III-B/Listing 1 included. Cycle counts and
+performance counters come from :mod:`repro.backends.model` (the
+§IV-A issue rates). Kernels are implemented as ``_exec_*``
+methods and dispatched through
+:meth:`~repro.backends.base.Backend.run`.
 """
 
 import numpy as np
@@ -32,128 +23,36 @@ from repro.backends.model import (
     spgemm_stats,
     spvv_stats,
 )
+from repro.compiler.vectorize import (
+    accumulate_rows as _accumulate_rows,
+    chain_from_zero as _chain_from_zero,
+    chain_rows as _chain_rows,
+    masked_products as _masked_products,
+    spgemm_numeric,
+    spvv_value as _spvv_value,
+    staggered_rows as _staggered_rows,
+    tree_reduce as _tree_reduce,
+)
 from repro.core.intersect import merge_profile
 from repro.errors import ConfigError, FormatError
 from repro.formats.builder import spgemm_pattern
 from repro.formats.csf import CsfTensor
 from repro.formats.csr import CsrMatrix
-from repro.kernels.common import (
-    BASE,
-    ISSR,
-    N_ACCUMULATORS,
-    SSR,
-    check_index_bits,
-    check_variant,
-)
+from repro.kernels.common import ISSR, check_index_bits, check_variant
 from repro.kernels.ttv import _nonleaf_coords
 
-
-def _tree_reduce(acc):
-    """The kernel's balanced fadd tree over accumulator columns.
-
-    ``acc`` has shape (rows, n_acc); reduces into column 0 with the
-    exact pairing of ``emit_tree_reduction``.
-    """
-    count = acc.shape[1]
-    stride = 1
-    while stride < count:
-        for i in range(0, count, 2 * stride):
-            j = i + stride
-            if j < count:
-                acc[:, i] = acc[:, i] + acc[:, j]
-        stride *= 2
-    return acc[:, 0]
-
-
-def _chain_rows(products, starts, length, from_zero):
-    """Left-to-right accumulation of same-length rows (vectorized).
-
-    ``starts`` indexes each row's first product. ``from_zero`` matches
-    the BASE/SSR kernels (accumulator cleared, first op is a MAC);
-    otherwise the first product initializes the accumulator (``fmul``).
-    """
-    cols = starts[:, None] + np.arange(length)
-    p = products[cols]
-    acc = p[:, 0] + 0.0 if from_zero else p[:, 0].copy()
-    for j in range(1, length):
-        acc = p[:, j] + acc
-    return acc
-
-
-def _staggered_rows(products, starts, length, n_acc):
-    """The ISSR long-row order: unrolled init, staggered FREP, tree."""
-    cols = starts[:, None] + np.arange(length)
-    p = products[cols]
-    acc = p[:, :n_acc].copy()
-    for i in range(length - n_acc):
-        k = i % n_acc
-        acc[:, k] = p[:, n_acc + i] + acc[:, k]
-    return _tree_reduce(acc)
-
-
-def _accumulate_rows(products, ptr, variant, index_bits):
-    """Per-row reduction of ``products`` in the kernel's exact order."""
-    lengths = np.diff(ptr)
-    nrows = len(lengths)
-    y = np.zeros(nrows, dtype=np.float64)
-    if nrows == 0:
-        return y
-    starts_all = np.asarray(ptr[:-1], dtype=np.int64)
-    n_acc = N_ACCUMULATORS[index_bits] if variant == ISSR else 0
-    for length in np.unique(lengths):
-        length = int(length)
-        if length == 0:
-            continue
-        rows = np.nonzero(lengths == length)[0]
-        starts = starts_all[rows]
-        if variant in (BASE, SSR):
-            y[rows] = _chain_rows(products, starts, length, from_zero=True)
-        elif length < n_acc:
-            y[rows] = _chain_rows(products, starts, length, from_zero=False)
-        else:
-            y[rows] = _staggered_rows(products, starts, length, n_acc)
-    return y
-
-
-def _masked_products(a_idcs, a_vals, b_idcs, b_vals):
-    """Products of matched value pairs, in merge (index) order.
-
-    The vectorized form of the lane's functional contract
-    (:func:`repro.core.intersect.intersect_indices`): fiber indices
-    are sorted and unique, so ``np.intersect1d`` yields exactly the
-    merge's matched positions, in order.
-    """
-    _, pa, pb = np.intersect1d(np.asarray(a_idcs, dtype=np.int64),
-                               np.asarray(b_idcs, dtype=np.int64),
-                               assume_unique=True, return_indices=True)
-    return np.asarray(a_vals, dtype=np.float64)[pa] \
-        * np.asarray(b_vals, dtype=np.float64)[pb]
-
-
-def _chain_from_zero(products):
-    """Left-to-right accumulation from +0.0 — the masked kernels' order
-    (identical across BASE/SSR/ISSR, see :mod:`repro.kernels.masked`)."""
-    acc = 0.0
-    for p in products:
-        acc = p + acc
-    return float(acc)
-
-
-def _spvv_value(products, variant, index_bits):
-    """Whole-fiber reduction in the SpVV kernel's order."""
-    nnz = len(products)
-    if variant in (BASE, SSR):
-        acc = 0.0
-        for p in products:
-            acc = p + acc
-        return float(acc)
-    n_acc = N_ACCUMULATORS[index_bits]
-    acc = np.zeros((1, n_acc), dtype=np.float64)
-    # chunked round-robin: element i lands on accumulator i % n_acc
-    for c in range(0, nnz, n_acc):
-        chunk = products[c:c + n_acc]
-        acc[0, :len(chunk)] = chunk + acc[0, :len(chunk)]
-    return float(_tree_reduce(acc)[0])
+__all__ = [
+    "FastBackend",
+    # re-exported replay helpers (historical home; implementations
+    # moved to repro.compiler.vectorize)
+    "_accumulate_rows",
+    "_chain_from_zero",
+    "_chain_rows",
+    "_masked_products",
+    "_spvv_value",
+    "_staggered_rows",
+    "_tree_reduce",
+]
 
 
 class FastBackend(Backend):
@@ -161,7 +60,7 @@ class FastBackend(Backend):
 
     name = "fast"
 
-    def spvv(self, fiber, x, variant, index_bits=32, check=True):
+    def _exec_spvv(self, fiber, x, variant, index_bits=32, check=True):
         """Replay the §III-B SpVV accumulation order; model cycles."""
         check_variant(variant)
         check_index_bits(index_bits)
@@ -171,7 +70,7 @@ class FastBackend(Backend):
         result = _spvv_value(products, variant, index_bits)
         return spvv_stats(fiber.nnz, variant, index_bits), result
 
-    def csrmv(self, matrix, x, variant, index_bits=32, check=True):
+    def _exec_csrmv(self, matrix, x, variant, index_bits=32, check=True):
         """Replay the §III-B CsrMV row loop; model cycles per row."""
         check_variant(variant)
         check_index_bits(index_bits)
@@ -181,7 +80,8 @@ class FastBackend(Backend):
         stats = csrmv_stats(matrix.row_lengths(), variant, index_bits)
         return stats, y
 
-    def csrmm(self, matrix, dense, variant, index_bits=32, check=True):
+    def _exec_csrmm(self, matrix, dense, variant, index_bits=32,
+                    check=True):
         """Replay the §III-B CsrMM kernel (CsrMV per dense column)."""
         check_variant(variant)
         check_index_bits(index_bits)
@@ -198,7 +98,7 @@ class FastBackend(Backend):
         stats = csrmm_stats(matrix.row_lengths(), k, variant, index_bits)
         return stats, out
 
-    def ttv(self, tensor, vector, index_bits=32, check=True):
+    def _exec_ttv(self, tensor, vector, index_bits=32, check=True):
         """Replay the §III-B TTV leaf-fiber reductions (ISSR order)."""
         if not isinstance(tensor, CsfTensor):
             raise FormatError("ttv expects a CsfTensor")
@@ -216,8 +116,8 @@ class FastBackend(Backend):
         stats = csrmv_stats(lengths, ISSR, index_bits)
         return stats, out
 
-    def masked_spvv(self, fiber_a, fiber_b, variant, index_bits=32,
-                    check=True):
+    def _exec_masked_spvv(self, fiber_a, fiber_b, variant, index_bits=32,
+                          check=True):
         """Replay the masked dot's merge-order chain; model cycles."""
         check_variant(variant)
         check_index_bits(index_bits)
@@ -229,8 +129,8 @@ class FastBackend(Backend):
                                   variant, index_bits)
         return stats, result
 
-    def masked_csrmv(self, matrix, x_fiber, variant, index_bits=32,
-                     check=True):
+    def _exec_masked_csrmv(self, matrix, x_fiber, variant, index_bits=32,
+                           check=True):
         """Replay the per-row masked dots; model cycles per row."""
         check_variant(variant)
         check_index_bits(index_bits)
@@ -251,8 +151,8 @@ class FastBackend(Backend):
                                    x_fiber.nnz, variant, index_bits)
         return stats, y
 
-    def spgemm(self, a, b, variant, index_bits=32, check=True,
-               pattern=None):
+    def _exec_spgemm(self, a, b, variant, index_bits=32, check=True,
+                     pattern=None):
         """Replay Gustavson's k-major scatter order; model cycles.
 
         ``pattern`` optionally supplies a precomputed symbolic phase
@@ -265,38 +165,16 @@ class FastBackend(Backend):
             raise FormatError(
                 f"spgemm shape mismatch: {a.shape} @ {b.shape}")
         ptr, idcs = pattern if pattern is not None else spgemm_pattern(a, b)
-        vals = np.zeros(int(ptr[-1]), dtype=np.float64)
-        acc = np.zeros(b.ncols, dtype=np.float64)
-        n_pattern = n_skip = n_a = n_k = flops = 0
-        for r in range(a.nrows):
-            plo, phi = int(ptr[r]), int(ptr[r + 1])
-            if phi == plo:
-                n_skip += 1
-                continue
-            n_pattern += 1
-            pat = idcs[plo:phi]
-            acc[pat] = 0.0
-            for e in range(int(a.ptr[r]), int(a.ptr[r + 1])):
-                n_a += 1
-                k = int(a.idcs[e])
-                blo, bhi = int(b.ptr[k]), int(b.ptr[k + 1])
-                if bhi == blo:
-                    continue
-                n_k += 1
-                flops += bhi - blo
-                cols = b.idcs[blo:bhi]
-                # column indices are unique within a B row, so the
-                # fancy update reproduces the kernel's sequential
-                # fmadd order (two roundings: multiply, then add)
-                acc[cols] = a.vals[e] * b.vals[blo:bhi] + acc[cols]
-            vals[plo:phi] = acc[pat]
+        vals, counters = spgemm_numeric(a, b, ptr, idcs)
         c = CsrMatrix(ptr, idcs, vals, (a.nrows, b.ncols))
-        stats = spgemm_stats(n_pattern, n_skip, int(ptr[-1]), n_a, n_k,
-                             flops, variant, index_bits)
+        stats = spgemm_stats(counters["n_pattern"], counters["n_skip"],
+                             int(ptr[-1]), counters["n_a"], counters["n_k"],
+                             counters["flops"], variant, index_bits)
         return stats, c
 
-    def cluster_csrmv(self, matrix, x, variant="issr", index_bits=16,
-                      check=True, cluster=None, max_cycles=None, **kwargs):
+    def _exec_cluster_csrmv(self, matrix, x, variant="issr", index_bits=16,
+                            check=True, cluster=None, max_cycles=None,
+                            **kwargs):
         """Predict the §IV-B cluster schedule; replay the row results."""
         if kwargs:
             raise ConfigError(

@@ -1,0 +1,97 @@
+"""Pass 2: recover loop/stream structure from a decoded program.
+
+Classifies a :class:`~repro.compiler.decode.DecodedProgram` by what its
+streamer configuration *means*: which lanes it drives, whether it uses
+indirection or the intersection unit, the configured index width, and
+the accumulator parallelism of its FREP loops. The result is a
+:class:`ProgramStructure` — the evidence the template matcher uses to
+prune its candidate set, and the source of truth the compiled backend
+derives its timing parameters from (recovered from the program itself,
+never from the caller's arguments).
+"""
+
+from repro.kernels.common import BASE, ISSR, SSR
+
+#: Structure classes a program can fall into — the BASE/SSR/ISSR
+#: variant axis, recovered from configuration evidence alone.
+CLASS_BASE = BASE
+CLASS_SSR = SSR
+CLASS_ISSR = ISSR
+
+
+class ProgramStructure:
+    """The recovered stream/loop structure of one assembled program."""
+
+    __slots__ = ("variant_class", "index_bits", "n_acc", "lanes",
+                 "uses_intersection", "uses_indirection", "n_freps",
+                 "max_frep_body", "n_instrs", "polls_status")
+
+    def __init__(self, variant_class, index_bits, n_acc, lanes,
+                 uses_intersection, uses_indirection, n_freps,
+                 max_frep_body, n_instrs, polls_status):
+        self.variant_class = variant_class
+        #: Configured index width (None when no lane sets IDX_CFG —
+        #: BASE/SSR programs encode the width in their load ops).
+        self.index_bits = index_bits
+        #: Accumulator count from FREP staggering (0 = unstaggered).
+        self.n_acc = n_acc
+        self.lanes = lanes
+        self.uses_intersection = uses_intersection
+        self.uses_indirection = uses_indirection
+        self.n_freps = n_freps
+        self.max_frep_body = max_frep_body
+        self.n_instrs = n_instrs
+        #: True for the intersection kernels' STATUS poll loop.
+        self.polls_status = polls_status
+
+    def __repr__(self):
+        return (f"ProgramStructure({self.variant_class}, "
+                f"idx={self.index_bits}, n_acc={self.n_acc}, "
+                f"lanes={sorted(self.lanes)}, freps={self.n_freps})")
+
+
+def recover_structure(decoded):
+    """Classify ``decoded``; returns a :class:`ProgramStructure`.
+
+    The variant axis is decided by configuration evidence, strongest
+    first: intersection or indirection launches mean ISSR; any other
+    streamer traffic (or SSR redirection toggles) means SSR; a program
+    that never touches the streamer is BASE.
+    """
+    lanes = decoded.lanes
+    uses_intersection = any(d.is_intersect for d in lanes.values())
+    uses_indirection = any(d.is_indirect for d in lanes.values())
+    if uses_intersection or uses_indirection:
+        variant_class = CLASS_ISSR
+    elif lanes or decoded.uses_redirection:
+        variant_class = CLASS_SSR
+    else:
+        variant_class = CLASS_BASE
+
+    index_bits = None
+    for descriptor in lanes.values():
+        bits = descriptor.index_bits
+        if bits is not None:
+            index_bits = bits
+
+    n_acc = 0
+    for frep in decoded.freps:
+        if frep.stagger_mask:
+            n_acc = max(n_acc, frep.stagger_count)
+
+    from repro.core.config import REG_STATUS
+
+    polls_status = any(reg == REG_STATUS
+                       for _pc, _lane, reg in decoded.config_reads)
+    return ProgramStructure(
+        variant_class=variant_class,
+        index_bits=index_bits,
+        n_acc=n_acc,
+        lanes=lanes,
+        uses_intersection=uses_intersection,
+        uses_indirection=uses_indirection,
+        n_freps=len(decoded.freps),
+        max_frep_body=max((f.n_insn for f in decoded.freps), default=0),
+        n_instrs=len(decoded.program.instrs),
+        polls_status=polls_status,
+    )

@@ -1,0 +1,74 @@
+"""Stream and intersection configuration as declarative data.
+
+A :class:`StreamDescriptor` is the *static* view of one streamer lane:
+which config registers a program writes, with which (abstract) values,
+and which job launches it performs. The cycle engine consumes the same
+information dynamically (:class:`~repro.core.config.ShadowConfig`
+snapshots at launch time); the compiler's structure-recovery pass
+(:mod:`repro.compiler.structure`) consumes it statically, from the
+decoded instruction stream, to classify a program's variant and index
+width without executing it.
+"""
+
+from repro.core.config import (
+    INDIRECT_READ,
+    INDIRECT_WRITE,
+    INTERSECT_COUNT,
+    INTERSECT_STREAM,
+    LAUNCH_MODES,
+    REG_IDX_CFG,
+    REG_NAMES,
+    decode_idx_cfg,
+)
+
+
+class StreamDescriptor:
+    """Static per-lane stream configuration recovered from a program.
+
+    ``writes`` maps config-register offset -> list of abstract values
+    written (program order); ``launches`` lists ``(mode, dims, value)``
+    tuples for every launch-register write.
+    """
+
+    __slots__ = ("lane", "writes", "launches")
+
+    def __init__(self, lane):
+        self.lane = lane
+        self.writes = {}
+        self.launches = []
+
+    def record(self, reg, value):
+        """Record one config write (launch registers also enqueue)."""
+        self.writes.setdefault(reg, []).append(value)
+        if reg in LAUNCH_MODES:
+            mode, dims = LAUNCH_MODES[reg]
+            self.launches.append((mode, dims, value))
+
+    @property
+    def modes(self):
+        """Job modes this lane launches, in program order."""
+        return tuple(mode for mode, _dims, _v in self.launches)
+
+    @property
+    def is_indirect(self):
+        """True when the lane launches indirection jobs."""
+        return any(m in (INDIRECT_READ, INDIRECT_WRITE) for m in self.modes)
+
+    @property
+    def is_intersect(self):
+        """True when the lane launches intersection jobs."""
+        return any(m in (INTERSECT_COUNT, INTERSECT_STREAM)
+                   for m in self.modes)
+
+    @property
+    def index_bits(self):
+        """Index width from the last constant IDX_CFG write (or None)."""
+        for value in reversed(self.writes.get(REG_IDX_CFG, ())):
+            if isinstance(value, int):
+                return decode_idx_cfg(value)[0]
+        return None
+
+    def __repr__(self):
+        regs = ",".join(REG_NAMES.get(r, str(r)) for r in self.writes)
+        return (f"StreamDescriptor(lane={self.lane}, regs=[{regs}], "
+                f"modes={self.modes})")

@@ -25,6 +25,36 @@ class ConfigError(ReproError):
     """A hardware component was configured with invalid parameters."""
 
 
+class UnsupportedKernelError(ConfigError):
+    """A backend cannot execute a registered kernel.
+
+    Raised by :meth:`repro.backends.base.Backend.run` (and therefore by
+    :func:`repro.api.run`) when a (backend, kernel) pair has no
+    implementation — the single well-typed failure mode of the
+    kernel-dispatch registry. Carries ``backend`` and ``kernel``
+    attributes for programmatic handling.
+    """
+
+    def __init__(self, backend, kernel, supported=()):
+        self.backend = backend
+        self.kernel = kernel
+        self.supported = tuple(supported)
+        message = (f"backend {backend!r} does not implement kernel "
+                   f"{kernel!r}")
+        if self.supported:
+            message += f" (supported: {', '.join(self.supported)})"
+        super().__init__(message)
+
+
+class LoweringError(ReproError):
+    """The compiler could not lower an assembled program.
+
+    Raised by :func:`repro.compiler.lower` when a program's recovered
+    structure matches no registered op template — the compiled backend
+    only executes programs it can prove it understands.
+    """
+
+
 class MemoryAccessError(SimulationError):
     """An access fell outside allocated memory or misused a word."""
 

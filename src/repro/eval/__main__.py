@@ -24,13 +24,16 @@ import time
 
 from repro.backends import BACKENDS
 from repro.eval.experiments import (
+    CLUSTER_AWARE,
     DESCRIPTIONS,
     EXPERIMENTS,
+    VARIANT_AWARE,
     experiment_registry,
     run_all,
     run_experiment,
 )
 from repro.eval.parallel import ParallelRunner
+from repro.kernels.common import VARIANTS
 
 
 def _epilog():
@@ -56,6 +59,18 @@ def _positive_int(text):
     return value
 
 
+def _cluster_list(text):
+    """Parse ``--clusters`` — comma-separated positive cluster counts."""
+    try:
+        values = tuple(int(part) for part in text.split(",") if part)
+    except ValueError:
+        values = ()
+    if not values or any(v < 1 for v in values):
+        raise argparse.ArgumentTypeError(
+            f"expected comma-separated cluster counts >= 1, got {text!r}")
+    return values
+
+
 def main(argv=None):
     if argv is None:
         argv = sys.argv[1:]
@@ -76,6 +91,13 @@ def main(argv=None):
                         help="full-fidelity workloads (slow; default quick)")
     parser.add_argument("--backend", choices=sorted(BACKENDS), default=None,
                         help="execution backend (default: cycle)")
+    parser.add_argument("--variant", choices=sorted(VARIANTS), default=None,
+                        help="kernel variant for the variant-aware "
+                             f"experiments ({', '.join(sorted(VARIANT_AWARE))})")
+    parser.add_argument("--clusters", type=_cluster_list, default=None,
+                        metavar="N[,N...]",
+                        help="cluster-count sweep for the cluster-aware "
+                             f"experiments ({', '.join(sorted(CLUSTER_AWARE))})")
     # const=0 marks the bare flag; it can never clash with user input
     # because _positive_int rejects an explicit "--parallel 0".
     parser.add_argument("--parallel", type=_positive_int, default=None,
@@ -140,7 +162,8 @@ def main(argv=None):
 
     t0 = time.time()
     if set(ids) == set(EXPERIMENTS):
-        results = run_all(quick=quick, backend=args.backend, runner=runner)
+        results = run_all(quick=quick, backend=args.backend, runner=runner,
+                          variant=args.variant, clusters=args.clusters)
         times = {}
     else:
         results = {}
@@ -148,7 +171,9 @@ def main(argv=None):
         for eid in ids:
             te = time.time()
             results[eid] = run_experiment(eid, quick=quick,
-                                          backend=args.backend, runner=runner)
+                                          backend=args.backend, runner=runner,
+                                          variant=args.variant,
+                                          clusters=args.clusters)
             times[eid] = time.time() - te
     for eid in ids:
         print(results[eid].render())

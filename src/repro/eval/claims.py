@@ -33,7 +33,8 @@ def run_claims(nnz=4096, nrows=128, npr=256, ncols=2048, seed=1,
     fiber = random_sparse_vector(nnz, nnz, seed=seed)
     utils = {}
     for variant, bits in (("base", 32), ("ssr", 32), ("issr", 32), ("issr", 16)):
-        stats, _ = backend.spvv(fiber, x, variant, bits)
+        stats, _ = backend.run("spvv", variant=variant,
+                               index_bits=bits, fiber=fiber, x=x)
         utils[(variant, bits)] = stats.fpu_utilization
     result.add_row("SpVV util BASE", 0.11, utils[("base", 32)])
     result.add_row("SpVV util SSR", 0.14, utils[("ssr", 32)])
@@ -44,7 +45,8 @@ def run_claims(nnz=4096, nrows=128, npr=256, ncols=2048, seed=1,
     matrix = random_csr(nrows, ncols, min(npr * nrows, nrows * ncols), seed=seed)
     cycles = {}
     for variant, bits in (("base", 32), ("ssr", 32), ("issr", 32), ("issr", 16)):
-        stats, _ = backend.csrmv(matrix, xm, variant, bits)
+        stats, _ = backend.run("csrmv", variant=variant,
+                               index_bits=bits, matrix=matrix, x=xm)
         cycles[(variant, bits)] = stats.cycles
     speed16 = cycles[("base", 32)] / cycles[("issr", 16)]
     speed32 = cycles[("base", 32)] / cycles[("issr", 32)]
@@ -77,8 +79,10 @@ def run_csrmm_claim(seed=1, k=2, mid_npr=24, mid_rows=96, mid_cols=1024,
     rag = RAGUSA18.generate(seed=seed)
     x = random_dense_vector(rag.ncols, seed=seed)
     b = random_dense_matrix(rag.ncols, k, seed=seed)
-    mv, _ = backend.csrmv(rag, x, "issr", 16)
-    mm, _ = backend.csrmm(rag, b, "issr", 16)
+    mv, _ = backend.run("csrmv", variant="issr", index_bits=16,
+                        matrix=rag, x=x)
+    mm, _ = backend.run("csrmm", variant="issr", index_bits=16,
+                        matrix=rag, dense=b)
     delta = abs(mm.fpu_utilization - mv.fpu_utilization) * 100
     result.add_row("Ragusa18 (64 nnz)", "issr16", mv.fpu_utilization,
                    mm.fpu_utilization, delta)
@@ -87,8 +91,10 @@ def run_csrmm_claim(seed=1, k=2, mid_npr=24, mid_rows=96, mid_cols=1024,
     xm = random_dense_vector(mid_cols, seed=seed)
     bm = random_dense_matrix(mid_cols, 4, seed=seed)
     for variant, bits in (("base", 32), ("issr", 16)):
-        s_mv, _ = backend.csrmv(mid, xm, variant, bits)
-        s_mm, _ = backend.csrmm(mid, bm, variant, bits)
+        s_mv, _ = backend.run("csrmv", variant=variant,
+                              index_bits=bits, matrix=mid, x=xm)
+        s_mm, _ = backend.run("csrmm", variant=variant,
+                              index_bits=bits, matrix=mid, dense=bm)
         d = abs(s_mm.fpu_utilization - s_mv.fpu_utilization) * 100
         result.add_row(f"mid matrix ({mid_npr}/row)", f"{variant}{bits}",
                        s_mv.fpu_utilization, s_mm.fpu_utilization, d)

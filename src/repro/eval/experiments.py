@@ -42,6 +42,11 @@ BACKEND_AWARE = frozenset({"E1", "E2", "E3", "E4", "E8", "E9", "E10",
 #: Sweep-shaped experiments that honor ``runner=`` point fan-out.
 PARALLEL_AWARE = frozenset({"E1", "E2", "E3", "E4", "E9", "scaling",
                             "sparse_sparse", "solvers"})
+#: Experiments whose drivers accept a ``variant=`` kernel selector
+#: (the others fix their variants — they *compare* kernels).
+VARIANT_AWARE = frozenset({"scaling"})
+#: Experiments whose drivers accept a ``clusters=`` sweep tuple.
+CLUSTER_AWARE = frozenset({"scaling", "solvers"})
 
 #: One-line summaries rendered into the CLI ``--help`` epilog (keep in
 #: sync with :data:`EXPERIMENTS`; enforced by
@@ -112,6 +117,8 @@ def experiment_registry():
             "claims": list(info["claims"]),
             "backend_aware": eid in BACKEND_AWARE,
             "parallel_aware": eid in PARALLEL_AWARE,
+            "variant_aware": eid in VARIANT_AWARE,
+            "cluster_aware": eid in CLUSTER_AWARE,
         })
     return entries
 
@@ -148,8 +155,15 @@ EXPERIMENTS = {
 }
 
 
-def run_experiment(exp_id, quick=True, backend=None, runner=None, **overrides):
-    """Run one experiment by id; quick mode shrinks the workloads."""
+def run_experiment(exp_id, quick=True, backend=None, runner=None,
+                   variant=None, clusters=None, **overrides):
+    """Run one experiment by id; quick mode shrinks the workloads.
+
+    ``backend``/``variant``/``clusters`` thread through only to the
+    experiments whose drivers accept them (the ``*_AWARE`` sets) —
+    passing them alongside ids that fix those knobs is not an error,
+    the flags simply don't apply there.
+    """
     fn = EXPERIMENTS[exp_id]
     kwargs = dict(QUICK.get(exp_id, {})) if quick else {}
     kwargs.update(overrides)
@@ -157,16 +171,22 @@ def run_experiment(exp_id, quick=True, backend=None, runner=None, **overrides):
         kwargs["backend"] = backend
     if runner is not None and exp_id in PARALLEL_AWARE:
         kwargs["runner"] = runner
+    if variant is not None and exp_id in VARIANT_AWARE:
+        kwargs["variant"] = variant
+    if clusters is not None and exp_id in CLUSTER_AWARE:
+        kwargs["clusters"] = tuple(clusters)
     return fn(**kwargs)
 
 
-def run_all(quick=True, backend=None, runner=None):
+def run_all(quick=True, backend=None, runner=None, variant=None,
+            clusters=None):
     """Run every experiment; returns {exp_id: ExperimentResult}."""
     results = {}
     for exp_id in EXPERIMENTS:
         if exp_id == "E9":
             results[exp_id] = _run_related_from_e3(results.get("E3"))
         else:
-            results[exp_id] = run_experiment(exp_id, quick=quick,
-                                             backend=backend, runner=runner)
+            results[exp_id] = run_experiment(
+                exp_id, quick=quick, backend=backend, runner=runner,
+                variant=variant, clusters=clusters)
     return results

@@ -28,7 +28,8 @@ def point(params):
     row = [nnz]
     peaks = {}
     for variant, bits in KERNELS:
-        stats, _ = backend.spvv(fiber, x, variant, bits)
+        stats, _ = backend.run("spvv", variant=variant, index_bits=bits,
+                               fiber=fiber, x=x)
         if variant == "issr":
             row.append(stats.fpu_utilization_nored)
             row.append(stats.fpu_utilization)

@@ -29,11 +29,13 @@ def point(params):
     nnz = min(npr * nrows, nrows * ncols)
     matrix = random_csr(nrows, ncols, nnz, seed=seed + npr)
     x = random_dense_vector(ncols, seed=seed)
-    base, _ = backend.csrmv(matrix, x, "base", 32)
+    base, _ = backend.run("csrmv", variant="base", index_bits=32,
+                          matrix=matrix, x=x)
     row = [npr]
     speeds = {}
     for label, variant, bits in SERIES:
-        stats, _ = backend.csrmv(matrix, x, variant, bits)
+        stats, _ = backend.run("csrmv", variant=variant, index_bits=bits,
+                               matrix=matrix, x=x)
         speeds[label] = base.cycles / stats.cycles
         row.append(speeds[label])
         if label == "issr16":

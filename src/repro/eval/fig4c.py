@@ -30,8 +30,10 @@ def point(params):
     index_bits = params["index_bits"]
     matrix = spec.generate(seed=seed, scale=scale)
     x = random_dense_vector(matrix.ncols, seed=seed)
-    issr, _ = backend.cluster_csrmv(matrix, x, "issr", index_bits)
-    base, _ = backend.cluster_csrmv(matrix, x, "base", 32)
+    issr, _ = backend.run("cluster_csrmv", variant="issr",
+                          index_bits=index_bits, matrix=matrix, x=x)
+    base, _ = backend.run("cluster_csrmv", variant="base", index_bits=32,
+                          matrix=matrix, x=x)
     speed = base.cycles / issr.cycles
     peak = max(c.fpu_utilization for c in issr.per_core)
     run_util = matrix.nnz / (issr.cycles * len(issr.per_core))

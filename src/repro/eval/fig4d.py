@@ -24,8 +24,10 @@ def point(params):
     spec, scale, seed = params["spec"], params["scale"], params["seed"]
     matrix = spec.generate(seed=seed, scale=scale)
     x = random_dense_vector(matrix.ncols, seed=seed)
-    issr, _ = backend.cluster_csrmv(matrix, x, "issr", 16)
-    base, _ = backend.cluster_csrmv(matrix, x, "base", 32)
+    issr, _ = backend.run("cluster_csrmv", variant="issr", index_bits=16,
+                          matrix=matrix, x=x)
+    base, _ = backend.run("cluster_csrmv", variant="base", index_bits=32,
+                          matrix=matrix, x=x)
     p_issr = estimate_cluster_power(issr, n_products=matrix.nnz)
     p_base = estimate_cluster_power(base, n_products=matrix.nnz)
     gain = energy_gain(p_base, p_issr)

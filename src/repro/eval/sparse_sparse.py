@@ -77,7 +77,9 @@ def spvv_point(params):
     row = {"kind": "masked_spvv", "workload": params["workload"],
            "density": params["density"], "nnz": nnz}
     for variant, bits in SPVV_KERNELS:
-        stats, _ = backend.masked_spvv(fiber_a, fiber_b, variant, bits)
+        stats, _ = backend.run("masked_spvv", variant=variant,
+                               index_bits=bits,
+                               fiber_a=fiber_a, fiber_b=fiber_b)
         row[f"{variant}{bits}_cycles"] = int(stats.cycles)
     row["speedup"] = row["base32_cycles"] / row["issr32_cycles"]
     return row
@@ -93,7 +95,8 @@ def spgemm_point(params):
     row = {"kind": "spgemm", "workload": "uniform",
            "density": params["density"], "n": n, "nnz": nnz}
     for variant, bits in SPVV_KERNELS:
-        stats, c = backend.spgemm(a, b, variant, bits)
+        stats, c = backend.run("spgemm", variant=variant,
+                               index_bits=bits, a=a, b=b)
         row[f"{variant}{bits}_cycles"] = int(stats.cycles)
     row["out_nnz"] = int(c.nnz)
     row["speedup"] = row["base32_cycles"] / row["issr32_cycles"]
@@ -113,8 +116,10 @@ def crosscheck_point(params):
                                    params["density"], seed=params["seed"])
         tol_kind = "masked"
         for variant, bits in SPVV_KERNELS:
-            sc, rc = cycle.masked_spvv(fa, fb, variant, bits)
-            sf, rf = fast.masked_spvv(fa, fb, variant, bits)
+            sc, rc = cycle.run("masked_spvv", variant=variant,
+                               index_bits=bits, fiber_a=fa, fiber_b=fb)
+            sf, rf = fast.run("masked_spvv", variant=variant,
+                              index_bits=bits, fiber_a=fa, fiber_b=fb)
             out["bit_identical"] &= (rc == rf)
             out["max_rel_err"] = max(
                 out["max_rel_err"],
@@ -126,8 +131,10 @@ def crosscheck_point(params):
         b = random_csr(n, n, nnz_m, seed=params["seed"] + 1)
         tol_kind = "spgemm"
         for variant, bits in SPVV_KERNELS:
-            sc, cc = cycle.spgemm(a, b, variant, bits)
-            sf, cf = fast.spgemm(a, b, variant, bits)
+            sc, cc = cycle.run("spgemm", variant=variant,
+                               index_bits=bits, a=a, b=b)
+            sf, cf = fast.run("spgemm", variant=variant,
+                              index_bits=bits, a=a, b=b)
             out["bit_identical"] &= (cc == cf)
             out["max_rel_err"] = max(
                 out["max_rel_err"],

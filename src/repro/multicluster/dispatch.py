@@ -9,13 +9,14 @@ behind a shared HBM fabric; ``fast`` predicts each cluster
 analytically at the contended bandwidth — and scatters the per-cluster
 results back into the global result. Supported kernels:
 
-- ``csrmv`` — both backends, bit-identical results;
+- ``csrmv`` — all backends (``compiled`` replays shards through the
+  lowered programs), bit-identical results;
 - ``spvv_batch`` — a batch of SpVV fibers against one dense vector,
   lowered to CsrMV (one fiber per row, §III-B) and sharded the same
-  way, both backends;
-- ``csrmm`` — fast backend only (there is no cycle-level cluster
+  way, all backends;
+- ``csrmm`` — fast/compiled only (there is no cycle-level cluster
   CsrMM runtime to validate against yet);
-- ``spgemm`` — sparse-sparse CSR x CSR (fast backend only): A's rows
+- ``spgemm`` — sparse-sparse CSR x CSR (fast/compiled only): A's rows
   shard through the same partitioners, B broadcasts whole through the
   HBM model, and the combine stays a pure row scatter
   (:meth:`~repro.multicluster.partition.Partition.combine_sparse`).
@@ -64,11 +65,12 @@ def run_multicluster(operand, dense, kernel="csrmv", n_clusters=8,
     check_variant(variant)
     check_index_bits(index_bits)
     hbm = hbm if hbm is not None else HbmConfig()
-    backend_name = get_backend(backend).name
-    if backend_name not in ("cycle", "fast"):
+    backend = get_backend(backend)
+    backend_name = backend.name
+    if backend_name not in ("cycle", "fast", "compiled"):
         raise ConfigError(
-            f"multicluster supports the 'cycle' and 'fast' backends, "
-            f"not {backend_name!r}"
+            f"multicluster supports the 'cycle', 'fast', and 'compiled' "
+            f"backends, not {backend_name!r}"
         )
 
     if kernel == "spvv_batch":
@@ -83,28 +85,28 @@ def run_multicluster(operand, dense, kernel="csrmv", n_clusters=8,
         # A's rows shard; B broadcasts whole (like CsrMM's dense B) —
         # modeled analytically, like csrmm (no cycle-level cluster
         # SpGEMM runtime to validate against yet).
-        if backend_name != "fast":
+        if backend_name == "cycle":
             raise ConfigError(
                 "multicluster spgemm is modeled analytically; "
-                "run it with backend='fast'"
+                "run it with backend='fast' or 'compiled'"
             )
         stats, c = multicluster_spgemm_fast(
             partition, dense, variant, index_bits, hbm=hbm,
-            n_workers=n_workers, tcdm_words=tcdm_words)
+            n_workers=n_workers, tcdm_words=tcdm_words, backend=backend)
         if check:
             expect = matrix.to_dense() @ dense.to_dense()
             _check(c.to_dense(), expect, kernel, variant, index_bits)
         return stats, c
 
     if kernel == "csrmm":
-        if backend_name != "fast":
+        if backend_name == "cycle":
             raise ConfigError(
                 "multicluster csrmm is modeled analytically; "
-                "run it with backend='fast'"
+                "run it with backend='fast' or 'compiled'"
             )
         stats, out = multicluster_csrmm_fast(
             partition, dense, variant, index_bits, hbm=hbm,
-            n_workers=n_workers, tcdm_words=tcdm_words)
+            n_workers=n_workers, tcdm_words=tcdm_words, backend=backend)
         if check:
             expect = matrix.spmm(dense)
             _check(out, expect, kernel, variant, index_bits)
@@ -117,7 +119,7 @@ def run_multicluster(operand, dense, kernel="csrmv", n_clusters=8,
             check=check, max_cycles=max_cycles, watchdog=watchdog)
     stats, y = multicluster_csrmv_fast(
         partition, dense, variant, index_bits, hbm=hbm,
-        n_workers=n_workers, tcdm_words=tcdm_words)
+        n_workers=n_workers, tcdm_words=tcdm_words, backend=backend)
     if check:
         expect = matrix.spmv(dense)
         _check(y, expect, kernel, variant, index_bits)

@@ -35,6 +35,25 @@ from repro.multicluster.runtime import MultiClusterStats
 from repro.sim.counters import LaneStats, RunStats
 
 
+def _functional_backend(spec):
+    """Resolve the functional-replay backend for the ``*_fast`` paths.
+
+    Accepts ``None`` (→ fast), a name, or a Backend instance; the
+    cycle backend is rejected — these paths replay functionally and
+    compose analytic shard models, they never step the simulator.
+    """
+    from repro.backends import get_backend
+    from repro.errors import ConfigError
+
+    backend = get_backend("fast" if spec is None else spec)
+    if backend.name == "cycle":
+        raise ConfigError(
+            "the multicluster fast paths replay functionally; use "
+            "backend='fast' or 'compiled' (or run_multicluster with "
+            "backend='cycle' for the stepped simulation)")
+    return backend
+
+
 def multicluster_csrmv_stats(partition, variant, index_bits, hbm=None,
                              n_workers=8, tcdm_words=256 * 1024 // 8):
     """Predicted :class:`MultiClusterStats` for a partitioned CsrMV.
@@ -322,25 +341,27 @@ def multicluster_spgemm_stats(partition, b, pattern_ptrs, variant,
 
 
 def multicluster_spgemm_fast(partition, b, variant, index_bits, hbm=None,
-                             n_workers=8, tcdm_words=256 * 1024 // 8):
+                             n_workers=8, tcdm_words=256 * 1024 // 8,
+                             backend=None):
     """Functional + analytic fast SpGEMM path; returns ``(stats, C)``.
 
-    Each shard replays the single-CC Gustavson order through the fast
-    backend and the rows scatter back losslessly, so the combined CSR
-    equals a single-cluster run bit for bit.
+    Each shard replays the single-CC Gustavson order through the
+    selected non-cycle backend (``fast`` by default, ``compiled``
+    accepted) and the rows scatter back losslessly, so the combined
+    CSR equals a single-cluster run bit for bit.
     """
-    from repro.backends.fast import FastBackend
     from repro.formats.builder import spgemm_pattern
 
-    fast = FastBackend()
+    backend = _functional_backend(backend)
     parts = []
     pattern_ptrs = []
     for shard in partition.shards:
         pattern = spgemm_pattern(shard.matrix, b)
         pattern_ptrs.append(pattern[0])
         if shard.nrows:
-            _stats, part = fast.spgemm(shard.matrix, b, variant,
-                                       index_bits, pattern=pattern)
+            _stats, part = backend.run(
+                "spgemm", variant=variant, index_bits=index_bits,
+                a=shard.matrix, b=b, pattern=pattern)
         else:
             from repro.formats.csr import CsrMatrix
 
@@ -355,21 +376,23 @@ def multicluster_spgemm_fast(partition, b, variant, index_bits, hbm=None,
 
 
 def multicluster_csrmv_fast(partition, x, variant, index_bits, hbm=None,
-                            n_workers=8, tcdm_words=256 * 1024 // 8):
+                            n_workers=8, tcdm_words=256 * 1024 // 8,
+                            backend=None):
     """Functional + analytic fast path; returns ``(stats, y)``.
 
-    The numerical result replays each shard through the fast backend's
-    exact accumulation-order model and scatters rows via the combine
-    plan — bit-identical to the cycle-stepped multi-cluster run.
+    The numerical result replays each shard through the selected
+    non-cycle backend's exact accumulation-order model and scatters
+    rows via the combine plan — bit-identical to the cycle-stepped
+    multi-cluster run.
     """
-    from repro.backends.fast import FastBackend
-
-    fast = FastBackend()
+    backend = _functional_backend(backend)
     x = np.asarray(x, dtype=np.float64)
     parts = []
     for shard in partition.shards:
         if shard.nrows:
-            _stats, part = fast.csrmv(shard.matrix, x, variant, index_bits)
+            _stats, part = backend.run("csrmv", variant=variant,
+                                       index_bits=index_bits,
+                                       matrix=shard.matrix, x=x)
         else:
             part = np.zeros(0, dtype=np.float64)
         parts.append(part)
@@ -381,18 +404,18 @@ def multicluster_csrmv_fast(partition, x, variant, index_bits, hbm=None,
 
 
 def multicluster_csrmm_fast(partition, dense, variant, index_bits, hbm=None,
-                            n_workers=8, tcdm_words=256 * 1024 // 8):
+                            n_workers=8, tcdm_words=256 * 1024 // 8,
+                            backend=None):
     """Functional + analytic fast CsrMM path; returns ``(stats, C)``."""
-    from repro.backends.fast import FastBackend
-
-    fast = FastBackend()
+    backend = _functional_backend(backend)
     dense = np.asarray(dense, dtype=np.float64)
     k = dense.shape[1]
     parts = []
     for shard in partition.shards:
         if shard.nrows:
-            _stats, part = fast.csrmm(shard.matrix, dense, variant,
-                                      index_bits)
+            _stats, part = backend.run("csrmm", variant=variant,
+                                       index_bits=index_bits,
+                                       matrix=shard.matrix, dense=dense)
         else:
             part = np.zeros((0, k), dtype=np.float64)
         parts.append(part)

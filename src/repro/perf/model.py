@@ -5,23 +5,32 @@ per kernel variant plus per-row/area overheads. Used (a) as a test
 oracle for the cycle simulator — the two must agree within a small
 tolerance on large inputs — and (b) for fast parameter sweeps where
 cycle simulation would be wasteful.
+
+The steady-state rates are *not* free parameters of this module: they
+are the one timing contract shared with the analytic backend —
+:data:`repro.backends.model.ISSUE_RATE` — and the FPU dependency
+latency comes from the simulated FPU itself
+(:data:`repro.isa.isa.FPU_LATENCY`), so the closed forms here, the
+fast/compiled cycle predictions, and the cycle-stepped simulator can
+never drift apart silently.
 """
 
 from dataclasses import dataclass
 
+from repro.backends.model import ISSUE_RATE
+from repro.isa.isa import FPU_LATENCY
 from repro.kernels.common import BASE, ISSR, N_ACCUMULATORS, SSR, check_variant
 
-#: Inner-loop cycles per nonzero (paper §I / §III-B).
-CYCLES_PER_NNZ = {BASE: 9.0, SSR: 7.0}
+#: Inner-loop cycles per nonzero (paper §I / §III-B) — the shared
+#: steady-state issue rates of the scalar variants.
+CYCLES_PER_NNZ = {BASE: ISSUE_RATE[(BASE, 32)], SSR: ISSUE_RATE[(SSR, 32)]}
 
 #: ISSR steady-state data rate: port cycles per element.
-ISSR_CYCLES_PER_NNZ = {16: 1.25, 32: 1.5}
+ISSR_CYCLES_PER_NNZ = {bits: ISSUE_RATE[(ISSR, bits)]
+                       for bits in (16, 32)}
 
 #: Fixed overheads measured from the simulator (setup + halt).
 SPVV_SETUP = {BASE: 8, SSR: 14, ISSR: 22}
-
-#: Reduction latency for the staggered accumulators (tree of fadds).
-FPU_LATENCY = 4
 
 
 def reduction_cycles(n_acc):

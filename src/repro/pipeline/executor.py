@@ -12,6 +12,9 @@ on either backend and on N clusters:
   stage's exact FP order (bit-identical results and histories) and
   composes the analytic stage models, within the documented
   ``CYCLE_TOLERANCE["pipeline"]``.
+- ``compiled`` (:mod:`repro.pipeline.compiled`) — the fast executor
+  with the CsrMV stages replayed through the *lowered* assembled
+  program (:mod:`repro.compiler`); same results, same contract.
 
 Everything that *coordinates* rather than computes lives here so both
 backends charge the identical cost: the host-stage cost, the per-stage
@@ -175,6 +178,11 @@ def run_pipeline(pipeline, n_iters, backend=None, n_clusters=1,
 
         return run_pipeline_fast(pipeline, partition, shards, n_iters,
                                  hbm=hbm, tcdm_bytes=tcdm_bytes)
+    if backend_name == "compiled":
+        from repro.pipeline.compiled import run_pipeline_compiled
+
+        return run_pipeline_compiled(pipeline, partition, shards, n_iters,
+                                     hbm=hbm, tcdm_bytes=tcdm_bytes)
     raise ConfigError(
-        f"pipelines support the 'cycle' and 'fast' backends, "
-        f"not {backend_name!r}")
+        f"pipelines support the 'cycle', 'fast', and 'compiled' "
+        f"backends, not {backend_name!r}")

@@ -47,8 +47,22 @@ def _accumulate(stats, stage_stats):
 
 
 def run_pipeline_fast(pipeline, partition, shards, n_iters, hbm,
-                      tcdm_bytes=256 * 1024):
-    """Execute one pipeline functionally; see the module docstring."""
+                      tcdm_bytes=256 * 1024, backend_label="fast",
+                      csrmv_reduce=None):
+    """Execute one pipeline functionally; see the module docstring.
+
+    ``csrmv_reduce(matrix, products)`` optionally overrides the CsrMV
+    row reduction (the compiled executor injects its lowered shape-
+    class closures here); the default replays through
+    :func:`~repro.compiler.vectorize.accumulate_rows`. Both choices
+    are bit-identical — the override only changes *how* the exact
+    order is replayed. ``backend_label`` names the executor in the
+    returned stats.
+    """
+    if csrmv_reduce is None:
+        def csrmv_reduce(mat, products):
+            return _accumulate_rows(products, mat.ptr, pipeline.variant,
+                                    pipeline.index_bits)
     n_clusters = partition.n_clusters
     tcdm_words = tcdm_bytes // 8
     plans = [plan_buffers(pipeline, shards[c], shard.nrows, tcdm_words)
@@ -68,7 +82,7 @@ def run_pipeline_fast(pipeline, partition, shards, n_iters, hbm,
     scalars = dict(pipeline.scalars)
 
     stats = PipelineStats()
-    stats.backend = "fast"
+    stats.backend = backend_label
     stats.n_clusters = n_clusters
     stats.spilled = sorted(set().union(*(p.spilled for p in plans))
                            if plans else ())
@@ -173,8 +187,7 @@ def run_pipeline_fast(pipeline, partition, shards, n_iters, hbm,
             mat = pipeline.matrices[stage.args["matrix"]].matrix
             x = state[stage.args["x"]]
             products = mat.vals * x[mat.idcs]
-            state[stage.args["y"]] = _accumulate_rows(
-                products, mat.ptr, pipeline.variant, pipeline.index_bits)
+            state[stage.args["y"]] = csrmv_reduce(mat, products)
             return
         if stage.kind in ("dot", "diff2"):
             x, y = state[stage.args["x"]], state[stage.args["y"]]

@@ -1,0 +1,203 @@
+"""The redesigned dispatch surface: registry, facade, and shims.
+
+The contract under test (ISSUE 6): every kernel a backend executes is
+declared once in :data:`repro.api.KERNELS`; :func:`repro.api.run` and
+:meth:`Backend.run` dispatch through that declaration (validating
+operands, filling the documented defaults); backends without an
+implementation raise :class:`UnsupportedKernelError`; and the legacy
+per-kernel methods still work but warn exactly once per
+(backend class, kernel).
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro import api
+from repro.api.registry import RESULT_KINDS, KernelSpec, get_kernel
+from repro.backends import (
+    BACKENDS,
+    CYCLE_TOLERANCE,
+    KERNEL_TOLERANCE,
+    Backend,
+    FastBackend,
+    get_backend,
+)
+from repro.backends import base as backend_base
+from repro.errors import ConfigError, UnsupportedKernelError
+from repro.formats.csf import CsfTensor
+from repro.workloads import (
+    random_csr,
+    random_dense_matrix,
+    random_dense_vector,
+    random_fiber_pair,
+    random_sparse_vector,
+)
+
+
+def small_operands(kernel):
+    """Minimal valid operands for every registered kernel."""
+    if kernel == "spvv":
+        return {"fiber": random_sparse_vector(32, 9, seed=1),
+                "x": random_dense_vector(32, seed=2)}
+    if kernel in ("csrmv", "cluster_csrmv"):
+        return {"matrix": random_csr(8, 32, 40, seed=3),
+                "x": random_dense_vector(32, seed=4)}
+    if kernel == "csrmm":
+        return {"matrix": random_csr(6, 32, 30, seed=5),
+                "dense": random_dense_matrix(32, 2, seed=6)}
+    if kernel == "ttv":
+        rng = np.random.default_rng(7)
+        dense = np.zeros((2, 3, 8))
+        mask = rng.random(dense.shape) < 0.5
+        dense[mask] = rng.standard_normal(int(mask.sum()))
+        return {"tensor": CsfTensor.from_dense(dense),
+                "vector": random_dense_vector(8, seed=8)}
+    if kernel == "masked_spvv":
+        a, b = random_fiber_pair(128, 17, 15, 0.3, seed=9)
+        return {"fiber_a": a, "fiber_b": b}
+    if kernel == "masked_csrmv":
+        return {"matrix": random_csr(6, 64, 30, seed=10),
+                "x_fiber": random_sparse_vector(64, 20, seed=11)}
+    if kernel == "spgemm":
+        return {"a": random_csr(6, 12, 20, seed=12),
+                "b": random_csr(12, 8, 24, seed=13)}
+    raise AssertionError(f"no fixture for kernel {kernel!r}")
+
+
+class TestRegistry:
+    def test_every_spec_is_well_formed(self):
+        for name, spec in api.KERNELS.items():
+            assert spec.name == name
+            assert spec.operands, name
+            assert spec.result in RESULT_KINDS, name
+            assert spec.doc, name
+
+    def test_tolerance_keys_stay_in_sync(self):
+        """Registry tolerance keys == the backends' tolerance contract."""
+        for name, spec in api.KERNELS.items():
+            assert spec.tolerance_key in CYCLE_TOLERANCE, name
+            assert KERNEL_TOLERANCE[name] == spec.tolerance_key, name
+
+    def test_get_kernel(self):
+        assert get_kernel("csrmv").name == "csrmv"
+        with pytest.raises(ConfigError, match="unknown kernel"):
+            get_kernel("dense_gemm")
+
+    def test_list_kernels(self):
+        assert api.list_kernels() == list(api.KERNELS)
+        assert set(api.list_backends()) == set(BACKENDS)
+        assert "compiled" in api.list_backends()
+
+    def test_validate_operands(self):
+        spec = get_kernel("csrmv")
+        with pytest.raises(ConfigError, match="missing"):
+            spec.validate_operands({"matrix": None})
+        with pytest.raises(ConfigError, match="unknown"):
+            spec.validate_operands({"matrix": None, "x": None, "y": None})
+
+
+class TestDispatch:
+    @pytest.mark.parametrize("kernel", sorted(api.KERNELS))
+    @pytest.mark.parametrize("backend", ["fast", "compiled"])
+    def test_every_kernel_dispatches_on_every_backend(self, kernel, backend):
+        """The full registry round-trip: run or raise, never AttributeError."""
+        inst = get_backend(backend)
+        if not inst.supports(kernel):
+            with pytest.raises(UnsupportedKernelError):
+                inst.run(kernel, **small_operands(kernel))
+            return
+        stats, result = inst.run(kernel, **small_operands(kernel))
+        assert stats.cycles > 0
+        assert result is not None
+
+    def test_api_run_facade(self):
+        ops = small_operands("csrmv")
+        s_fast, y_fast = api.run("csrmv", backend="fast", variant="issr",
+                                 index_bits=16, **ops)
+        s_comp, y_comp = api.run("csrmv", backend="compiled", variant="issr",
+                                 index_bits=16, **ops)
+        assert y_fast.tobytes() == y_comp.tobytes()
+        assert s_fast.cycles == s_comp.cycles
+
+    def test_defaults_match_the_documented_conventions(self):
+        """No variant given -> issr/32 (cluster_csrmv: issr/16)."""
+        ops = small_operands("csrmv")
+        s_dflt, y_dflt = api.run("csrmv", backend="fast", **ops)
+        s_issr, y_issr = api.run("csrmv", backend="fast", variant="issr",
+                                 index_bits=32, **ops)
+        assert y_dflt.tobytes() == y_issr.tobytes()
+        assert s_dflt.cycles == s_issr.cycles
+
+    def test_unsupported_kernel_error_carries_context(self):
+        class NullBackend(Backend):
+            name = "null"
+
+        err = pytest.raises(UnsupportedKernelError, NullBackend().run,
+                            "csrmv", **small_operands("csrmv")).value
+        assert err.backend == "null"
+        assert err.kernel == "csrmv"
+        assert list(err.supported) == []
+        assert isinstance(err, ConfigError)
+
+    def test_unknown_operand_rejected_before_execution(self):
+        with pytest.raises(ConfigError, match="unknown"):
+            api.run("spvv", backend="fast", bogus=1,
+                    **small_operands("spvv"))
+
+    def test_extra_kwargs_flow_through(self):
+        """spgemm's symbolic-phase reuse knob rides the registry path."""
+        from repro.formats.builder import spgemm_pattern
+
+        ops = small_operands("spgemm")
+        pattern = spgemm_pattern(ops["a"], ops["b"])
+        s1, c1 = api.run("spgemm", backend="fast", **ops)
+        s2, c2 = api.run("spgemm", backend="fast", pattern=pattern, **ops)
+        assert c1 == c2
+        assert s1.cycles == s2.cycles
+
+
+class TestLegacyShims:
+    @pytest.fixture(autouse=True)
+    def fresh_warning_registry(self, monkeypatch):
+        monkeypatch.setattr(backend_base, "_WARNED_SHIMS", set())
+
+    def test_shim_results_match_run(self):
+        ops = small_operands("csrmv")
+        backend = FastBackend()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            s_old, y_old = backend.csrmv(ops["matrix"], ops["x"], "issr", 16)
+        s_new, y_new = backend.run("csrmv", variant="issr", index_bits=16,
+                                   **ops)
+        assert y_old.tobytes() == y_new.tobytes()
+        assert s_old.cycles == s_new.cycles
+
+    def test_shims_warn_once_per_class_and_kernel(self):
+        ops = small_operands("spvv")
+        backend = FastBackend()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            backend.spvv(ops["fiber"], ops["x"], "base", 32)
+            backend.spvv(ops["fiber"], ops["x"], "ssr", 32)
+        deprecations = [w for w in caught
+                        if issubclass(w.category, DeprecationWarning)]
+        assert len(deprecations) == 1
+        assert "backend.run('spvv', ...)" in str(deprecations[0].message)
+
+    def test_registry_path_never_warns(self):
+        ops = small_operands("spvv")
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            api.run("spvv", backend="fast", variant="base", **ops)
+        assert not [w for w in caught
+                    if issubclass(w.category, DeprecationWarning)]
+
+
+class TestSpecImmutability:
+    def test_slots_reject_ad_hoc_attributes(self):
+        spec = KernelSpec("toy", operands=("x",), result="scalar",
+                          tolerance_key="single", doc="toy kernel")
+        with pytest.raises(AttributeError):
+            spec.extra_field = 1

@@ -49,7 +49,7 @@ def backends():
 
 class TestRegistry:
     def test_names(self):
-        assert set(BACKENDS) == {"cycle", "fast"}
+        assert set(BACKENDS) == {"cycle", "fast", "compiled"}
 
     def test_get_backend(self):
         assert get_backend("fast").name == "fast"
@@ -70,8 +70,10 @@ class TestSpvvParity:
         dim = max(nnz, 8)
         x = random_dense_vector(dim, seed=1)
         fiber = random_sparse_vector(dim, nnz, seed=2 + nnz)
-        s_cyc, r_cyc = cycle.spvv(fiber, x, variant, bits)
-        s_fast, r_fast = fast.spvv(fiber, x, variant, bits)
+        s_cyc, r_cyc = cycle.run("spvv", variant=variant, index_bits=bits,
+                                 fiber=fiber, x=x)
+        s_fast, r_fast = fast.run("spvv", variant=variant, index_bits=bits,
+                                  fiber=fiber, x=x)
         assert np.float64(r_fast).tobytes() == np.float64(r_cyc).tobytes()
         assert_cycles_close(s_fast.cycles, s_cyc.cycles)
         assert s_fast.fpu_mac_ops == s_cyc.fpu_mac_ops
@@ -90,8 +92,10 @@ class TestCsrmvParity:
         cycle, fast = backends
         matrix = random_csr(nrows, 128, nrows * npr, distribution=dist, seed=5)
         x = random_dense_vector(128, seed=1)
-        s_cyc, y_cyc = cycle.csrmv(matrix, x, variant, bits)
-        s_fast, y_fast = fast.csrmv(matrix, x, variant, bits)
+        s_cyc, y_cyc = cycle.run("csrmv", variant=variant, index_bits=bits,
+                                 matrix=matrix, x=x)
+        s_fast, y_fast = fast.run("csrmv", variant=variant, index_bits=bits,
+                                  matrix=matrix, x=x)
         assert y_fast.tobytes() == y_cyc.tobytes()  # bit-identical
         assert_cycles_close(s_fast.cycles, s_cyc.cycles)
         assert s_fast.fpu_mac_ops == s_cyc.fpu_mac_ops
@@ -105,8 +109,10 @@ class TestCsrmmParity:
         cycle, fast = backends
         matrix = random_csr(10, 64, 60, seed=7)
         dense = random_dense_matrix(64, 4, seed=8)
-        s_cyc, c_cyc = cycle.csrmm(matrix, dense, variant, bits)
-        s_fast, c_fast = fast.csrmm(matrix, dense, variant, bits)
+        s_cyc, c_cyc = cycle.run("csrmm", variant=variant, index_bits=bits,
+                                 matrix=matrix, dense=dense)
+        s_fast, c_fast = fast.run("csrmm", variant=variant, index_bits=bits,
+                                  matrix=matrix, dense=dense)
         assert c_fast.tobytes() == c_cyc.tobytes()
         assert_cycles_close(s_fast.cycles, s_cyc.cycles)
         assert s_fast.fpu_mac_ops == s_cyc.fpu_mac_ops
@@ -115,7 +121,8 @@ class TestCsrmmParity:
         _, fast = backends
         matrix = random_csr(4, 16, 8, seed=1)
         with pytest.raises(ValueError):
-            fast.csrmm(matrix, random_dense_matrix(16, 3, seed=1), "issr", 16)
+            fast.run("csrmm", variant="issr", index_bits=16, matrix=matrix,
+                     dense=random_dense_matrix(16, 3, seed=1))
 
 
 class TestTtvParity:
@@ -128,8 +135,10 @@ class TestTtvParity:
         dense[mask] = rng.standard_normal(int(mask.sum()))
         tensor = CsfTensor.from_dense(dense)
         v = random_dense_vector(12, seed=4)
-        s_cyc, r_cyc = cycle.ttv(tensor, v, bits)
-        s_fast, r_fast = fast.ttv(tensor, v, bits)
+        s_cyc, r_cyc = cycle.run("ttv", index_bits=bits, tensor=tensor,
+                                 vector=v)
+        s_fast, r_fast = fast.run("ttv", index_bits=bits, tensor=tensor,
+                                  vector=v)
         assert r_fast.tobytes() == r_cyc.tobytes()
         assert_cycles_close(s_fast.cycles, s_cyc.cycles)
 
@@ -140,8 +149,10 @@ class TestClusterParity:
         cycle, fast = backends
         matrix = get_spec("G11").generate(seed=1, scale=0.25)
         x = random_dense_vector(matrix.ncols, seed=1)
-        s_cyc, y_cyc = cycle.cluster_csrmv(matrix, x, variant, bits)
-        s_fast, y_fast = fast.cluster_csrmv(matrix, x, variant, bits)
+        s_cyc, y_cyc = cycle.run("cluster_csrmv", variant=variant,
+                                 index_bits=bits, matrix=matrix, x=x)
+        s_fast, y_fast = fast.run("cluster_csrmv", variant=variant,
+                                  index_bits=bits, matrix=matrix, x=x)
         assert y_fast.tobytes() == y_cyc.tobytes()
         assert_cycles_close(s_fast.cycles, s_cyc.cycles, kind="cluster")
         assert len(s_fast.per_core) == len(s_cyc.per_core)
@@ -155,10 +166,12 @@ class TestClusterParity:
         cycle, fast = backends
         matrix = get_spec("Ragusa18").generate(seed=1)
         x = random_dense_vector(matrix.ncols, seed=1)
-        s_cyc, y_cyc = cycle.cluster_csrmv(
-            matrix, x, "issr", 16, cluster=SnitchCluster(n_workers=4))
-        s_fast, y_fast = fast.cluster_csrmv(
-            matrix, x, "issr", 16, cluster=SnitchCluster(n_workers=4))
+        s_cyc, y_cyc = cycle.run(
+            "cluster_csrmv", variant="issr", index_bits=16, matrix=matrix,
+            x=x, cluster=SnitchCluster(n_workers=4))
+        s_fast, y_fast = fast.run(
+            "cluster_csrmv", variant="issr", index_bits=16, matrix=matrix,
+            x=x, cluster=SnitchCluster(n_workers=4))
         assert len(s_cyc.per_core) == len(s_fast.per_core) == 4
         assert y_fast.tobytes() == y_cyc.tobytes()
         assert_cycles_close(s_fast.cycles, s_cyc.cycles, kind="cluster")
@@ -168,7 +181,8 @@ class TestClusterParity:
         matrix = get_spec("Ragusa18").generate(seed=1)
         x = random_dense_vector(matrix.ncols, seed=1)
         with pytest.raises(ConfigError):
-            fast.cluster_csrmv(matrix, x, "issr", 16, tile_rows=4)
+            fast.run("cluster_csrmv", variant="issr", index_bits=16,
+                     matrix=matrix, x=x, tile_rows=4)
 
 
 class TestFastExperiments:

@@ -53,8 +53,12 @@ class TestMaskedSpvv:
             fa, fb = random_fiber_pair(512, 96, 96, density, seed=11)
             for v in VARIANTS:
                 for bits in (32, 16):
-                    sc, rc = cycle.masked_spvv(fa, fb, v, bits)
-                    sf, rf = fast.masked_spvv(fa, fb, v, bits)
+                    sc, rc = cycle.run("masked_spvv", variant=v,
+                                       index_bits=bits, fiber_a=fa,
+                                       fiber_b=fb)
+                    sf, rf = fast.run("masked_spvv", variant=v,
+                                      index_bits=bits, fiber_a=fa,
+                                      fiber_b=fb)
                     assert rc == rf
                     assert cycles_within_tolerance(sf.cycles, sc.cycles, "masked")
 
@@ -90,8 +94,12 @@ class TestMaskedCsrmv:
         x = rand_fiber(128, 40, 9)
         for v in VARIANTS:
             for bits in (32, 16):
-                sc, yc = cycle.masked_csrmv(matrix, x, v, bits)
-                sf, yf = fast.masked_csrmv(matrix, x, v, bits)
+                sc, yc = cycle.run("masked_csrmv", variant=v,
+                                   index_bits=bits, matrix=matrix,
+                                   x_fiber=x)
+                sf, yf = fast.run("masked_csrmv", variant=v,
+                                  index_bits=bits, matrix=matrix,
+                                  x_fiber=x)
                 np.testing.assert_array_equal(yc, yf)
                 assert cycles_within_tolerance(sf.cycles, sc.cycles, "masked")
 

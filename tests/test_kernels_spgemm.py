@@ -50,8 +50,10 @@ class TestSpgemmSingleCC:
         b = random_csr(16, 14, 70, seed=6)
         for v in VARIANTS:
             for bits in (32, 16):
-                sc, cc = cycle.spgemm(a, b, v, bits)
-                sf, cf = fast.spgemm(a, b, v, bits)
+                sc, cc = cycle.run("spgemm", variant=v, index_bits=bits,
+                                   a=a, b=b)
+                sf, cf = fast.run("spgemm", variant=v, index_bits=bits,
+                                  a=a, b=b)
                 assert cc == cf
                 assert cycles_within_tolerance(sf.cycles, sc.cycles, "spgemm")
 
@@ -68,7 +70,7 @@ class TestSpgemmMulticluster:
         a = random_csr(48, 32, 300, seed=9)
         b = random_csr(32, 28, 200, seed=10)
         fast = FastBackend()
-        _, c_ref = fast.spgemm(a, b, "issr", 16)
+        _, c_ref = fast.run("spgemm", variant="issr", index_bits=16, a=a, b=b)
         for partitioner in ("row_block", "nnz_balanced", "cyclic"):
             stats, c = run_multicluster(
                 a, b, kernel="spgemm", n_clusters=4,
@@ -84,7 +86,8 @@ class TestSpgemmMulticluster:
         stats, c = run_multicluster(a, b, kernel="spgemm", n_clusters=1,
                                     backend="fast")
         assert stats.combine_cycles == 0
-        sf, cf = FastBackend().spgemm(a, b, "issr", 16)
+        sf, cf = FastBackend().run("spgemm", variant="issr", index_bits=16,
+                                   a=a, b=b)
         assert c == cf
 
     def test_cycle_backend_rejected(self):

@@ -126,7 +126,8 @@ class TestBitIdentity:
 
         matrix = skewed_matrix(nrows=24, npr=5)
         x = random_dense_vector(matrix.ncols, seed=3)
-        _, y_single = FastBackend().cluster_csrmv(matrix, x, "issr", 16)
+        _, y_single = FastBackend().run("cluster_csrmv", variant="issr",
+                                        index_bits=16, matrix=matrix, x=x)
         for scheme in ("row_block", "nnz_balanced", "cyclic"):
             _, y_multi = run_multicluster(matrix, x, n_clusters=4,
                                           partitioner=scheme, backend="fast")
@@ -176,7 +177,9 @@ class TestDegenerateSingleCluster:
 
         matrix = skewed_matrix(nrows=24, npr=5)
         x = random_dense_vector(matrix.ncols, seed=3)
-        s_single, y_single = FastBackend().cluster_csrmv(matrix, x, "issr", 16)
+        s_single, y_single = FastBackend().run(
+            "cluster_csrmv", variant="issr", index_bits=16, matrix=matrix,
+            x=x)
         s_multi, y_multi = run_multicluster(matrix, x, n_clusters=1,
                                             backend="fast")
         assert y_multi.tobytes() == y_single.tobytes()
@@ -188,7 +191,9 @@ class TestDegenerateSingleCluster:
 
         matrix = random_csr(16, 64, 96, seed=8)
         x = random_dense_vector(64, seed=9)
-        s_single, y_single = CycleBackend().cluster_csrmv(matrix, x, "issr", 16)
+        s_single, y_single = CycleBackend().run(
+            "cluster_csrmv", variant="issr", index_bits=16, matrix=matrix,
+            x=x)
         s_multi, y_multi = run_multicluster(matrix, x, n_clusters=1,
                                             backend="cycle")
         assert y_multi.tobytes() == y_single.tobytes()

@@ -42,11 +42,15 @@ class TestToleranceRegistry:
             assert 0.0 < rel < 1.0 and slack >= 0
 
     def test_every_backend_kernel_is_registered(self):
-        """Every Backend kernel entry point maps to a tolerance."""
-        methods = [name for name in vars(Backend)
-                   if not name.startswith("_") and name != "name"]
-        missing = [m for m in methods if m not in KERNEL_TOLERANCE]
+        """Every dispatchable kernel (and shim) maps to a tolerance."""
+        from repro.api import KERNELS
+        missing = [k for k in KERNELS if k not in KERNEL_TOLERANCE]
         assert not missing, f"no tolerance family for {missing}"
+        # the deprecated per-kernel shims cover the same surface
+        shims = [name for name in vars(Backend)
+                 if not name.startswith("_")
+                 and name not in ("name", "run", "supports", "kernels")]
+        assert set(shims) == set(KERNELS)
 
     def test_pipeline_family_registered(self):
         assert KERNEL_TOLERANCE["pipeline"] == "pipeline"

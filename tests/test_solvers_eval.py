@@ -33,7 +33,8 @@ class TestRegistryWiring:
         for entry in experiment_registry():
             assert set(entry) == {"id", "name", "output", "claim_count",
                                   "claims", "backend_aware",
-                                  "parallel_aware"}
+                                  "parallel_aware", "variant_aware",
+                                  "cluster_aware"}
             assert entry["claim_count"] == len(entry["claims"])
             assert entry["name"]
 
