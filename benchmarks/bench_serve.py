@@ -1,0 +1,181 @@
+"""Load benchmark for the serve layer: sustained req/s and latency.
+
+A closed-loop load generator (client threads against one
+:class:`~repro.serve.ServiceThread`) drives two phases over the E2
+CsrMV point family on the compiled backend:
+
+- **cold**: every request is a distinct workload (all cache misses),
+  so each one crosses the scheduler, a warm worker, and the result
+  pipe. The requirement is >= 20 req/s with p99 latency < 250 ms,
+  every response bit-identical to a direct ``repro.api.run``;
+- **cached**: the same requests replayed; the point cache answers at
+  submit time with no ticket. The requirement is >= 200 req/s and a
+  100% hit rate.
+
+The run writes ``BENCH_serve.json`` (req/s, p50/p99 latency, cache
+hit rate, git describe) and the final check fails when throughput
+regresses more than 20% against the committed
+``benchmarks/BENCH_serve_baseline.json``.
+"""
+
+import concurrent.futures
+import json
+import os
+import tempfile
+import time
+
+import numpy as np
+
+from repro import api
+from repro.eval.parallel import code_version
+from repro.serve import ServeConfig, ServiceThread
+from repro.serve.protocol import result_digest
+from repro.workloads import random_csr, random_dense_vector
+
+#: E2-point workload shape (fig4b's busy single-CC sweep point).
+NROWS, NCOLS, NNZ = 96, 2048, 96 * 128
+
+#: Cold-phase request count and client thread count.
+COLD_REQUESTS = 40
+CLIENTS = 8
+#: Cached-phase replay factor (each cold request re-asked this often).
+REPLAYS = 3
+
+BASELINE_PATH = os.path.join(os.path.dirname(__file__),
+                             "BENCH_serve_baseline.json")
+OUTPUT_PATH = "BENCH_serve.json"
+
+RESULTS = {}
+
+_service = None
+_tmpdir = None
+
+
+def _payload(seed):
+    return {
+        "kernel": "csrmv", "backend": "compiled",
+        "workload": {
+            "matrix": {"gen": "random_csr", "nrows": NROWS,
+                       "ncols": NCOLS, "nnz": NNZ, "seed": seed},
+            "x": {"gen": "random_dense_vector", "dim": NCOLS,
+                  "seed": seed + 9000},
+        }}
+
+
+def _direct_digest(seed):
+    matrix = random_csr(NROWS, NCOLS, NNZ, seed=seed)
+    x = random_dense_vector(NCOLS, seed=seed + 9000)
+    _stats, y = api.run("csrmv", backend="compiled", variant="issr",
+                        matrix=matrix, x=x)
+    return result_digest("vector", np.asarray(y))
+
+
+def _service_thread():
+    global _service, _tmpdir
+    if _service is None:
+        _tmpdir = tempfile.TemporaryDirectory(prefix="bench-serve-")
+        config = ServeConfig(workers=2, backends=("compiled",),
+                             cache_dir=_tmpdir.name)
+        _service = ServiceThread(config).start()
+    return _service
+
+
+def _drive(payloads):
+    """Closed-loop load: CLIENTS threads, per-request latencies."""
+    serve = _service_thread()
+    latencies = []
+    responses = []
+
+    def one(payload):
+        t0 = time.perf_counter()
+        response = serve.request(payload, wait_timeout=120)
+        return time.perf_counter() - t0, response
+
+    wall0 = time.perf_counter()
+    with concurrent.futures.ThreadPoolExecutor(CLIENTS) as pool:
+        for latency, response in pool.map(one, payloads):
+            latencies.append(latency)
+            responses.append(response)
+    wall = time.perf_counter() - wall0
+    lat = np.sort(np.asarray(latencies))
+    return {
+        "requests": len(payloads),
+        "wall_s": round(wall, 4),
+        "rps": round(len(payloads) / wall, 1),
+        "p50_ms": round(float(np.percentile(lat, 50)) * 1e3, 2),
+        "p99_ms": round(float(np.percentile(lat, 99)) * 1e3, 2),
+    }, responses
+
+
+def test_cold_phase_throughput_latency_and_bit_identity():
+    """Distinct workloads: scheduler + warm pool end to end."""
+    payloads = [_payload(seed) for seed in range(COLD_REQUESTS)]
+    measured, responses = _drive(payloads)
+
+    assert all(r["ok"] and not r["cached"] for r in responses)
+    for seed in (0, 7, COLD_REQUESTS - 1):  # oracle spot checks
+        assert responses[seed]["digest"] == _direct_digest(seed), \
+            f"served result for seed {seed} != direct repro.api.run"
+
+    RESULTS["cold"] = measured
+    print(f"cold: {measured['rps']} req/s, p50 {measured['p50_ms']}ms, "
+          f"p99 {measured['p99_ms']}ms over {measured['requests']} reqs")
+    assert measured["rps"] >= 20.0, \
+        f"cold compiled CsrMV sustained only {measured['rps']} req/s"
+    assert measured["p99_ms"] < 250.0, \
+        f"cold p99 {measured['p99_ms']}ms breaches the 250ms budget"
+
+
+def test_cached_phase_throughput_and_hit_rate():
+    """The same requests replayed: answered from the point cache."""
+    payloads = [_payload(seed % COLD_REQUESTS)
+                for seed in range(COLD_REQUESTS * REPLAYS)]
+    measured, responses = _drive(payloads)
+
+    hits = sum(1 for r in responses if r["cached"])
+    measured["cache_hit_rate"] = round(hits / len(responses), 4)
+    cold = {r["digest"] for r in responses}
+    assert len(cold) == COLD_REQUESTS  # digests stable across replays
+
+    RESULTS["cached"] = measured
+    print(f"cached: {measured['rps']} req/s, p50 {measured['p50_ms']}ms, "
+          f"p99 {measured['p99_ms']}ms, hit rate "
+          f"{measured['cache_hit_rate']}")
+    assert measured["cache_hit_rate"] == 1.0
+    assert measured["rps"] >= 200.0, \
+        f"cached replay sustained only {measured['rps']} req/s"
+
+
+def test_write_json_and_check_regression():
+    """Persist BENCH_serve.json; fail on >20% regression vs baseline."""
+    global _service, _tmpdir
+    assert RESULTS, "benchmarks did not run"
+    stats = _service_thread().stats()
+    RESULTS["service"] = {
+        "fastpath_hits": stats["cache"]["fastpath_hits"],
+        "submitted": stats["scheduler"]["submitted"],
+        "respawns": stats["pool"]["respawns"],
+    }
+    if _service is not None:
+        _service.stop()
+        _service = None
+        _tmpdir.cleanup()
+
+    payload = {"git_describe": code_version(), "benchmarks": RESULTS}
+    with open(OUTPUT_PATH, "w") as fh:
+        json.dump(payload, fh, indent=1)
+    print(f"wrote {OUTPUT_PATH}")
+
+    with open(BASELINE_PATH) as fh:
+        baseline = json.load(fh)["benchmarks"]
+    failures = []
+    for name, entry in baseline.items():
+        if name not in RESULTS:
+            continue
+        measured = RESULTS[name]["rps"]
+        floor = 0.8 * entry["rps"]
+        if measured < floor:
+            failures.append(
+                f"{name}: {measured} req/s < 80% of baseline "
+                f"{entry['rps']} req/s")
+    assert not failures, "; ".join(failures)

@@ -87,16 +87,22 @@ def kernel_table():
     kernels = _import_repro("repro.api.KERNELS")
     list_backends = _import_repro("repro.api.list_backends")
     get_backend = _import_repro("repro.backends.get_backend")
+    request_fields = _import_repro("repro.serve.protocol.request_fields")
     backends = {name: get_backend(name) for name in list_backends()}
-    lines = ["| kernel | operands | result | variants | backends |",
-             "| --- | --- | --- | --- | --- |"]
+    lines = ["| kernel | operands | result | variants | backends "
+             "| serve request |",
+             "| --- | --- | --- | --- | --- | --- |"]
     for spec in kernels.values():
         operands = ", ".join(f"`{name}`" for name in spec.operands)
         support = " · ".join(name for name, backend in backends.items()
                              if backend.supports(spec.name))
         variants = "base · ssr · issr" if spec.has_variant else "—"
+        # the per-kernel serve request schema is the shared fields plus
+        # one workload.<operand> generator spec per operand
+        workload = ", ".join(f"`{f}`" for f in request_fields(spec)
+                             if f.startswith("workload."))
         lines.append(f"| `{spec.name}` | {operands} | {spec.result} "
-                     f"| {variants} | {support} |")
+                     f"| {variants} | {support} | {workload} |")
     return "\n".join(lines)
 
 

@@ -39,6 +39,21 @@ from repro.errors import UnsupportedKernelError
 _WARNED_SHIMS = set()
 
 
+def reset_shim_warnings():
+    """Forget which legacy shims have warned (returns the old set).
+
+    The once-per-process warning registry makes shim-warning
+    assertions order-dependent: whichever test (or library call) hits
+    a shim first consumes the only warning. Tests that assert on shim
+    warnings reset this registry (the shared ``conftest.py`` fixture
+    isolates every test) instead of depending on suite order.
+    """
+    global _WARNED_SHIMS
+    old = _WARNED_SHIMS
+    _WARNED_SHIMS = set()
+    return old
+
+
 class Backend:
     """Abstract kernel-execution backend.
 

@@ -55,6 +55,30 @@ class LoweringError(ReproError):
     """
 
 
+class ServeError(ReproError):
+    """Base class for errors raised by the :mod:`repro.serve` layer."""
+
+
+class RequestError(ServeError):
+    """A serve request is malformed (unknown kernel, bad operand spec...)."""
+
+
+class QuotaError(ServeError):
+    """A tenant exceeded its queued or in-flight request quota."""
+
+
+class RequestTimeoutError(ServeError):
+    """A serve request missed its deadline before (or while) executing."""
+
+
+class RequestCancelledError(ServeError):
+    """A serve request was cancelled by its client."""
+
+
+class WorkerCrashError(ServeError):
+    """A warm worker died executing a request (after any retries)."""
+
+
 class MemoryAccessError(SimulationError):
     """An access fell outside allocated memory or misused a word."""
 

@@ -149,6 +149,71 @@ def point_key(fn, params):
     return hashlib.sha256(ident.encode()).hexdigest()
 
 
+class PointCache:
+    """The on-disk point-result store shared by every cached consumer.
+
+    One entry per :func:`point_key`, pickled atomically under
+    ``cache_dir/<key[:2]>/<key>.pkl``. Both the
+    :class:`ParallelRunner` (batch sweeps) and :mod:`repro.serve` (the
+    online request scheduler) memoize through this class, so a point
+    computed by either is a cache hit for the other — the cache, its
+    key derivation, and its corruption handling live in exactly one
+    place. Loads tolerate missing or corrupt entries (a torn write, a
+    truncated pickle) by reporting a miss; stores are best-effort and
+    never fail the computation.
+    """
+
+    def __init__(self, cache_dir=None, use_cache=True):
+        if cache_dir is None:
+            cache_dir = os.environ.get(CACHE_DIR_ENV, DEFAULT_CACHE_DIR)
+        self.cache_dir = cache_dir
+        self.use_cache = use_cache
+        #: Hit/miss counters (surfaced by ``--profile`` and the serve
+        #: stats endpoint).
+        self.hits = 0
+        self.misses = 0
+
+    def path(self, key):
+        """Filesystem path holding ``key``'s entry (existing or not)."""
+        return os.path.join(self.cache_dir, key[:2], key + ".pkl")
+
+    def load(self, key):
+        """The stored ``{"params", "result"}`` entry, or None on miss.
+
+        Unreadable entries (corrupt pickle, torn write, wrong type)
+        count as misses: the caller recomputes and overwrites.
+        """
+        if not self.use_cache:
+            return None
+        try:
+            with open(self.path(key), "rb") as fh:
+                entry = pickle.load(fh)
+        except (OSError, pickle.PickleError, EOFError, AttributeError,
+                ImportError, IndexError):
+            return None
+        if not isinstance(entry, dict) or "result" not in entry:
+            return None  # corrupt-but-unpicklable garbage: treat as miss
+        return entry
+
+    def store(self, key, params, result):
+        """Persist one point result (atomic rename; best-effort)."""
+        if not self.use_cache:
+            return
+        path = self.path(key)
+        try:
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            tmp = f"{path}.tmp.{os.getpid()}"
+            with open(tmp, "wb") as fh:
+                pickle.dump({"params": params, "result": result}, fh)
+            os.replace(tmp, path)
+        except OSError:
+            pass  # caching is best-effort; never fail the experiment
+
+    def __repr__(self):
+        return (f"PointCache(cache_dir={self.cache_dir!r}, "
+                f"use_cache={self.use_cache})")
+
+
 class ParallelRunner:
     """Map point functions over parameter dicts, in parallel, cached.
 
@@ -166,41 +231,28 @@ class ParallelRunner:
                 f"CPUs), got {processes}"
             )
         self.processes = processes or os.cpu_count() or 1
-        if cache_dir is None:
-            cache_dir = os.environ.get(CACHE_DIR_ENV, DEFAULT_CACHE_DIR)
-        self.cache_dir = cache_dir
-        self.use_cache = use_cache
+        self.cache = PointCache(cache_dir=cache_dir, use_cache=use_cache)
         self._mp_context = mp_context
-        #: Point-cache hit/miss counters (surfaced by ``--profile``).
-        self.cache_hits = 0
-        self.cache_misses = 0
 
-    # -- cache ---------------------------------------------------------------
+    @property
+    def cache_dir(self):
+        """The underlying :class:`PointCache` directory."""
+        return self.cache.cache_dir
 
-    def _cache_path(self, key):
-        return os.path.join(self.cache_dir, key[:2], key + ".pkl")
+    @property
+    def use_cache(self):
+        """Whether the on-disk memo is consulted at all."""
+        return self.cache.use_cache
 
-    def _load(self, key):
-        if not self.use_cache:
-            return None
-        try:
-            with open(self._cache_path(key), "rb") as fh:
-                return pickle.load(fh)
-        except (OSError, pickle.PickleError, EOFError):
-            return None
+    @property
+    def cache_hits(self):
+        """Point-cache hits (surfaced by ``--profile``)."""
+        return self.cache.hits
 
-    def _store(self, key, result):
-        if not self.use_cache:
-            return
-        path = self._cache_path(key)
-        try:
-            os.makedirs(os.path.dirname(path), exist_ok=True)
-            tmp = f"{path}.tmp.{os.getpid()}"
-            with open(tmp, "wb") as fh:
-                pickle.dump(result, fh)
-            os.replace(tmp, path)
-        except OSError:
-            pass  # caching is best-effort; never fail the experiment
+    @property
+    def cache_misses(self):
+        """Point-cache misses (surfaced by ``--profile``)."""
+        return self.cache.misses
 
     # -- execution -----------------------------------------------------------
 
@@ -215,13 +267,13 @@ class ParallelRunner:
         results = [None] * len(param_list)
         misses = []
         for i, key in enumerate(keys):
-            hit = self._load(key)
+            hit = self.cache.load(key)
             if hit is not None:
                 results[i] = hit["result"]
-                self.cache_hits += 1
+                self.cache.hits += 1
             else:
                 misses.append(i)
-                self.cache_misses += 1
+                self.cache.misses += 1
 
         if misses:
             work = [param_list[i] for i in misses]
@@ -233,7 +285,7 @@ class ParallelRunner:
                 outs = [fn(p) for p in work]
             for i, out in zip(misses, outs):
                 results[i] = out
-                self._store(keys[i], {"params": param_list[i], "result": out})
+                self.cache.store(keys[i], param_list[i], out)
         return results
 
     def __repr__(self):

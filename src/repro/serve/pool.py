@@ -1,0 +1,239 @@
+"""Warm worker processes holding pre-constructed backend instances.
+
+Each :class:`Worker` is a long-lived process that constructs its
+backend instances once at startup (and pre-lowers the hot CsrMV
+templates when the compiled backend is warmed), then loops on a duplex
+pipe executing *batches* of jobs — so per-request cost is one pipe
+round-trip plus the kernel itself, never interpreter startup, imports,
+or program assembly.
+
+Worker death is a first-class event, not an exception path: the
+service detects it as a broken pipe (or a dead ``Process``), calls
+:meth:`WorkerPool.respawn`, and re-dispatches or cleanly fails the
+affected tickets (see :meth:`~repro.serve.scheduler.Scheduler.requeue`).
+Fault-injection jobs (``inject: "die"``) let the test battery kill a
+worker mid-batch deterministically; they are only honored when the
+pool was built with ``allow_fault_injection=True``.
+"""
+
+import multiprocessing
+import os
+
+from repro.serve import protocol
+
+#: Fault-injection markers a job may carry (test battery only).
+INJECT_DIE = "die"
+
+
+def _warm_backends(backend_names):
+    """Construct (and pre-lower for) every backend this worker serves."""
+    from repro.backends import get_backend
+
+    backends = {name: get_backend(name) for name in backend_names}
+    if "compiled" in backends:
+        # Pre-lower the hottest templates so the first compiled
+        # request pays no decode/match cost.
+        from repro.compiler import lower
+        from repro.kernels.csrmv import build_csrmv
+
+        for variant, bits in (("issr", 32), ("issr", 16), ("ssr", 32),
+                              ("base", 32)):
+            program, _meta = build_csrmv(variant, bits)
+            lower(program, family_hint="csrmv")
+    return backends
+
+
+def execute_job(backends, job):
+    """Run one job dict on a warm backend; returns the result payload.
+
+    The payload is ``(stats_dict, result, digest, profile_or_None)``
+    — picklable, so it crosses the worker pipe; the service encodes it
+    for socket clients and stores it in the point cache.
+    """
+    request = job["request"]
+    operands = protocol.build_operands(request)
+    backend = backends.get(request["backend"])
+    if backend is None:
+        from repro.backends import get_backend
+
+        backend = backends[request["backend"]] = get_backend(
+            request["backend"])
+
+    profile = None
+    if request.get("profile"):
+        from repro.sim import profile as engine_profile
+
+        engine_profile.enable(reset=True)
+        try:
+            stats, result = backend.run(
+                request["kernel"], variant=request["variant"],
+                index_bits=request["index_bits"], check=request["check"],
+                **operands)
+        finally:
+            engine_profile.disable()
+        profile = engine_profile.report()
+    else:
+        stats, result = backend.run(
+            request["kernel"], variant=request["variant"],
+            index_bits=request["index_bits"], check=request["check"],
+            **operands)
+    kind = protocol.result_kind(request["kernel"])
+    digest = protocol.result_digest(kind, result)
+    return (protocol.stats_dict(stats), result, digest, profile)
+
+
+def _worker_main(conn, backend_names, allow_fault_injection):
+    """The worker process loop: recv a batch, execute, send results."""
+    backends = _warm_backends(backend_names)
+    conn.send(("ready", os.getpid()))
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        if message is None:  # orderly shutdown
+            break
+        results = []
+        for job in message:
+            if allow_fault_injection and job.get("inject") == INJECT_DIE:
+                os._exit(17)  # simulate a hard crash mid-batch
+            try:
+                results.append(("ok", execute_job(backends, job)))
+            except BaseException as exc:  # noqa: BLE001 - worker must survive
+                results.append(
+                    ("error", f"{type(exc).__name__}: {exc}"))
+        try:
+            conn.send(results)
+        except (BrokenPipeError, OSError):
+            break
+    conn.close()
+
+
+class Worker:
+    """One warm worker process and its service-side pipe end."""
+
+    __slots__ = ("index", "process", "conn", "busy", "generation")
+
+    def __init__(self, index, process, conn, generation=0):
+        self.index = index
+        self.process = process
+        self.conn = conn
+        self.busy = False
+        self.generation = generation
+
+    def alive(self):
+        """True while the process runs and the pipe is open."""
+        return self.process.is_alive() and not self.conn.closed
+
+    def __repr__(self):
+        state = "busy" if self.busy else "idle"
+        return (f"Worker({self.index}, pid={self.process.pid}, {state}, "
+                f"gen{self.generation})")
+
+
+class WorkerPool:
+    """A fixed-size pool of warm workers with respawn-on-death.
+
+    ``backends`` names the backend instances each worker constructs at
+    startup; ``mp_context`` picks the start method (the default
+    ``fork`` keeps warm-up cheap on Linux; ``spawn`` works everywhere
+    pickling does).
+    """
+
+    def __init__(self, n_workers=2, backends=("compiled", "fast"),
+                 mp_context="fork", allow_fault_injection=False):
+        if n_workers < 1:
+            from repro.errors import ConfigError
+
+            raise ConfigError(f"WorkerPool needs >= 1 worker, got "
+                              f"{n_workers}")
+        self.n_workers = n_workers
+        self.backends = tuple(backends)
+        self.allow_fault_injection = allow_fault_injection
+        self._ctx = multiprocessing.get_context(mp_context)
+        self.workers = []
+        #: Respawn count (exposed by the service stats endpoint).
+        self.respawns = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _spawn(self, index, generation):
+        parent, child = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(child, self.backends, self.allow_fault_injection),
+            daemon=True,
+            name=f"repro-serve-worker-{index}",
+        )
+        process.start()
+        child.close()
+        worker = Worker(index, process, parent, generation)
+        return worker
+
+    def start(self):
+        """Spawn every worker and wait for their warm-up handshakes."""
+        self.workers = [self._spawn(i, 0) for i in range(self.n_workers)]
+        for worker in self.workers:
+            worker.conn.recv()  # ("ready", pid) after backend warm-up
+        return self
+
+    def stop(self):
+        """Shut every worker down (orderly, then forcefully)."""
+        for worker in self.workers:
+            try:
+                worker.conn.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+        for worker in self.workers:
+            worker.process.join(timeout=2)
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(timeout=2)
+            worker.conn.close()
+        self.workers = []
+
+    def respawn(self, worker):
+        """Replace a dead worker in place; returns the replacement."""
+        try:
+            worker.conn.close()
+        except OSError:
+            pass
+        if worker.process.is_alive():
+            worker.process.terminate()
+        worker.process.join(timeout=2)
+        replacement = self._spawn(worker.index, worker.generation + 1)
+        replacement.conn.recv()  # wait for warm-up
+        self.workers[worker.index] = replacement
+        self.respawns += 1
+        return replacement
+
+    # -- execution ---------------------------------------------------------
+
+    def send_batch(self, worker, jobs):
+        """Dispatch a job batch to one worker (marks it busy)."""
+        worker.busy = True
+        worker.conn.send(jobs)
+
+    def recv_batch(self, worker):
+        """Block for a worker's batch results; raises on worker death.
+
+        The caller (the service's per-worker thread) treats
+        ``EOFError``/``OSError`` as worker death and triggers
+        :meth:`respawn`.
+        """
+        try:
+            results = worker.conn.recv()
+        finally:
+            worker.busy = False
+        return results
+
+    def idle_workers(self):
+        """Workers currently free to take a batch."""
+        return [w for w in self.workers if not w.busy and w.alive()]
+
+    def snapshot(self):
+        """JSON-able pool state for the stats endpoint."""
+        return {"workers": self.n_workers,
+                "busy": sum(1 for w in self.workers if w.busy),
+                "respawns": self.respawns,
+                "backends": list(self.backends)}

@@ -1,0 +1,374 @@
+"""The deterministic scheduling core of the serve layer.
+
+Pure bookkeeping, no asyncio, no wall clock: the
+:class:`Scheduler` is constructed with an injected ``clock`` callable
+and every decision — admission, quota enforcement, coalescing,
+priority ordering, batching, timeout expiry, retry accounting — is a
+synchronous state transition on :class:`Ticket` objects. The service
+layer (:mod:`repro.serve.service`) wraps it in an event loop; the
+unit tests drive it with a fake clock and assert exact outcomes.
+
+Scheduling semantics (documented in ``docs/serve.md``):
+
+- **priority**: smaller is more urgent (0 = most urgent); FIFO within
+  a priority level.
+- **coalescing**: a submitted request whose cache key matches a
+  ticket already queued or running attaches to it — one execution,
+  every attached ticket completed with the same result.
+- **batching**: :meth:`next_batch` returns up to ``batch_max``
+  *compatible* queued tickets — same (kernel, backend, variant,
+  index_bits) — starting from the most urgent ticket, so one warm
+  worker round-trip amortizes dispatch over the batch.
+- **quotas**: per-tenant caps on queued and in-flight (dispatched)
+  tickets; coalesced tickets count against the queued cap (they hold
+  client state) but never against in-flight (they consume no worker).
+- **timeouts**: a ticket past its deadline is expired whether queued
+  or running; a running ticket's eventual worker result is discarded
+  for the expired ticket but still feeds the cache.
+"""
+
+import itertools
+import time
+
+from repro.errors import QuotaError
+
+#: Ticket lifecycle states.
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+TIMED_OUT = "timed_out"
+
+#: States a ticket can no longer leave.
+TERMINAL = frozenset({DONE, FAILED, CANCELLED, TIMED_OUT})
+
+
+class TenantQuota:
+    """Per-tenant admission limits (None = unlimited)."""
+
+    __slots__ = ("max_queued", "max_inflight")
+
+    def __init__(self, max_queued=None, max_inflight=None):
+        self.max_queued = max_queued
+        self.max_inflight = max_inflight
+
+    def __repr__(self):
+        return (f"TenantQuota(max_queued={self.max_queued}, "
+                f"max_inflight={self.max_inflight})")
+
+
+class Ticket:
+    """One admitted request moving through the scheduler.
+
+    ``key`` is the request's point-cache key (the dedupe identity);
+    ``waiters`` holds tickets coalesced onto this one. ``attempts``
+    counts dispatches, so the service can retry a ticket whose worker
+    died and give up cleanly after ``max_attempts``.
+    """
+
+    __slots__ = ("id", "request", "key", "tenant", "priority", "deadline",
+                 "submitted_at", "state", "waiters", "primary", "attempts",
+                 "seq", "outcome")
+
+    def __init__(self, ticket_id, request, key, now):
+        self.id = ticket_id
+        self.request = request
+        self.key = key
+        self.tenant = request["tenant"]
+        self.priority = request["priority"]
+        self.submitted_at = now
+        timeout = request["timeout"]
+        self.deadline = None if timeout is None else now + timeout
+        self.state = QUEUED
+        #: Tickets coalesced onto this execution (primaries only).
+        self.waiters = []
+        #: The ticket this one coalesced onto (waiters only).
+        self.primary = None
+        self.attempts = 0
+        self.seq = None
+        #: Terminal payload: ("ok", response) or ("error", exception).
+        self.outcome = None
+
+    @property
+    def batch_class(self):
+        """The compatibility class batched onto one worker round-trip."""
+        req = self.request
+        return (req["kernel"], req["backend"], req["variant"],
+                req["index_bits"])
+
+    def __repr__(self):
+        return (f"Ticket({self.id}, {self.request['kernel']}, "
+                f"tenant={self.tenant!r}, prio={self.priority}, "
+                f"{self.state})")
+
+
+class Scheduler:
+    """Admission, queueing, coalescing, batching, and expiry.
+
+    All methods are synchronous and deterministic given the injected
+    ``clock``. The service layer serializes access from one event
+    loop; no internal locking.
+    """
+
+    def __init__(self, clock=time.monotonic, quota=None, batch_max=8,
+                 max_attempts=2):
+        self.clock = clock
+        #: Default :class:`TenantQuota` applied to every tenant.
+        self.quota = quota if quota is not None else TenantQuota()
+        #: Per-tenant overrides (tenant name -> TenantQuota).
+        self.tenant_quotas = {}
+        self.batch_max = max(1, batch_max)
+        self.max_attempts = max(1, max_attempts)
+        self._seq = itertools.count()
+        self._ids = itertools.count(1)
+        #: Queued primaries in submission order (priority sorts lazily).
+        self._queue = []
+        #: cache key -> live primary ticket (queued or running).
+        self._inflight_by_key = {}
+        self._running = set()
+        #: tenant -> [queued_or_waiting, running] counts.
+        self._tenant_counts = {}
+        self._tickets = {}
+        #: Monotonic counters for the stats endpoint.
+        self.stats = {"submitted": 0, "coalesced": 0, "completed": 0,
+                      "failed": 0, "cancelled": 0, "timed_out": 0,
+                      "rejected": 0, "retries": 0}
+
+    # -- admission ---------------------------------------------------------
+
+    def _counts(self, tenant):
+        return self._tenant_counts.setdefault(tenant, [0, 0])
+
+    def _quota_for(self, tenant):
+        return self.tenant_quotas.get(tenant, self.quota)
+
+    def submit(self, request, key):
+        """Admit one validated request; returns its :class:`Ticket`.
+
+        Coalesces onto a live ticket with the same ``key`` when one
+        exists (the returned ticket's ``primary`` is set). Raises
+        :class:`QuotaError` when the tenant's queued cap is exhausted
+        — rejected requests leave no state behind.
+        """
+        tenant = request["tenant"]
+        counts = self._counts(tenant)
+        cap = self._quota_for(tenant).max_queued
+        if cap is not None and counts[0] >= cap:
+            self.stats["rejected"] += 1
+            raise QuotaError(
+                f"tenant {tenant!r} has {counts[0]} queued requests "
+                f"(cap {cap}); retry later or raise the quota")
+        now = self.clock()
+        ticket = Ticket(next(self._ids), request, key, now)
+        ticket.seq = next(self._seq)
+        self._tickets[ticket.id] = ticket
+        counts[0] += 1
+        self.stats["submitted"] += 1
+
+        primary = self._inflight_by_key.get(key)
+        if primary is not None and primary.state in (QUEUED, RUNNING):
+            ticket.primary = primary
+            primary.waiters.append(ticket)
+            self.stats["coalesced"] += 1
+            return ticket
+        self._inflight_by_key[key] = ticket
+        self._queue.append(ticket)
+        return ticket
+
+    # -- dispatch ----------------------------------------------------------
+
+    def _queued(self):
+        """Live queued primaries, most urgent first (stable FIFO)."""
+        self._queue = [t for t in self._queue if t.state == QUEUED]
+        return sorted(self._queue, key=lambda t: (t.priority, t.seq))
+
+    def next_batch(self):
+        """Pop the next compatible batch to dispatch, or [].
+
+        Takes the most urgent queued ticket, then fills the batch (up
+        to ``batch_max``) with queued tickets of the same batch class
+        whose tenants have in-flight headroom, preserving urgency
+        order. Every returned ticket is RUNNING with ``attempts``
+        bumped.
+        """
+        batch = []
+        batch_class = None
+        taken = {}  # tenant -> tickets already chosen for this batch
+        for ticket in self._queued():
+            counts = self._counts(ticket.tenant)
+            cap = self._quota_for(ticket.tenant).max_inflight
+            inflight = counts[1] + taken.get(ticket.tenant, 0)
+            if cap is not None and inflight >= cap:
+                continue
+            if batch_class is None:
+                batch_class = ticket.batch_class
+            elif ticket.batch_class != batch_class:
+                continue
+            batch.append(ticket)
+            taken[ticket.tenant] = taken.get(ticket.tenant, 0) + 1
+            if len(batch) >= self.batch_max:
+                break
+        for ticket in batch:
+            ticket.state = RUNNING
+            ticket.attempts += 1
+            self._running.add(ticket)
+            self._counts(ticket.tenant)[1] += 1
+            self._queue.remove(ticket)
+        return batch
+
+    def requeue(self, ticket):
+        """Return a RUNNING ticket to the queue (worker died).
+
+        Keeps its submission order and attempt count; returns False —
+        ticket failed instead — once ``max_attempts`` is exhausted.
+        """
+        if ticket.state != RUNNING:
+            return False
+        self._running.discard(ticket)
+        self._counts(ticket.tenant)[1] -= 1
+        if ticket.attempts >= self.max_attempts:
+            return False
+        ticket.state = QUEUED
+        self._queue.append(ticket)
+        self.stats["retries"] += 1
+        return True
+
+    # -- completion --------------------------------------------------------
+
+    def _release(self, ticket):
+        """Drop a primary's scheduler state once it goes terminal."""
+        if self._inflight_by_key.get(ticket.key) is ticket:
+            del self._inflight_by_key[ticket.key]
+        if ticket in self._running:
+            self._running.discard(ticket)
+            self._counts(ticket.tenant)[1] -= 1
+
+    def _settle(self, ticket, state, stat):
+        if ticket.state in TERMINAL:
+            return []
+        was_running = ticket.state == RUNNING
+        ticket.state = state
+        self.stats[stat] += 1
+        self._counts(ticket.tenant)[0] -= 1
+        if ticket.primary is not None:
+            if not was_running:  # waiters are never RUNNING
+                try:
+                    ticket.primary.waiters.remove(ticket)
+                except ValueError:
+                    pass
+            return [ticket]
+        self._release(ticket)
+        settled = [ticket]
+        for waiter in list(ticket.waiters):
+            settled.extend(self._settle(waiter, state, stat))
+        ticket.waiters.clear()
+        return settled
+
+    def complete(self, ticket):
+        """Mark a primary DONE; returns it plus every coalesced waiter."""
+        return self._settle(ticket, DONE, "completed")
+
+    def fail(self, ticket):
+        """Mark a ticket FAILED; returns it plus coalesced waiters."""
+        return self._settle(ticket, FAILED, "failed")
+
+    def _promote_waiters(self, ticket):
+        """Hand a settling QUEUED primary's slot to its first waiter.
+
+        The execution is still wanted by the waiters, so the first one
+        becomes the new primary — keeping the old ticket's queue slot
+        (seq) so coalescing never improves or worsens queue position.
+        """
+        promoted = ticket.waiters.pop(0)
+        promoted.primary = None
+        promoted.waiters, ticket.waiters = ticket.waiters, []
+        for moved in promoted.waiters:
+            moved.primary = promoted
+        promoted.seq = ticket.seq
+        self._inflight_by_key[ticket.key] = promoted
+        self._queue.append(promoted)
+        self._queue.remove(ticket)
+
+    def _drop(self, ticket, state, stat):
+        """Settle one ticket by itself (cancel/expiry), promoting waiters.
+
+        A QUEUED primary hands its execution slot to the first waiter;
+        a RUNNING primary cascades (the coalesced tickets share the
+        execution's fate — documented in docs/serve.md).
+        """
+        if ticket.state in TERMINAL:
+            return []
+        if (ticket.primary is None and ticket.waiters
+                and ticket.state == QUEUED):
+            self._promote_waiters(ticket)
+            ticket.state = state
+            self.stats[stat] += 1
+            self._counts(ticket.tenant)[0] -= 1
+            if self._inflight_by_key.get(ticket.key) is ticket:
+                del self._inflight_by_key[ticket.key]
+            return [ticket]
+        return self._settle(ticket, state, stat)
+
+    def cancel(self, ticket_id):
+        """Cancel one ticket by id; returns the settled tickets.
+
+        Cancelling a queued primary with waiters promotes the first
+        waiter (the execution is still wanted); cancelling a waiter
+        detaches only that waiter; cancelling a running primary
+        cascades to its waiters. Returns [] for unknown or already
+        terminal tickets.
+        """
+        ticket = self._tickets.get(ticket_id)
+        if ticket is None:
+            return []
+        return self._drop(ticket, CANCELLED, "cancelled")
+
+    def expire(self, now=None):
+        """Settle every ticket past its deadline; returns them.
+
+        Queued, running, and coalesced tickets all expire. An expired
+        queued primary hands its slot to any waiters; an expired
+        running primary's eventual worker result is discarded for its
+        tickets (the service still stores it in the point cache).
+        """
+        now = self.clock() if now is None else now
+        expired = []
+        for ticket in list(self._tickets.values()):
+            if (ticket.state in TERMINAL or ticket.deadline is None
+                    or now < ticket.deadline):
+                continue
+            expired.extend(self._drop(ticket, TIMED_OUT, "timed_out"))
+        return expired
+
+    # -- introspection -----------------------------------------------------
+
+    def get(self, ticket_id):
+        """The ticket for ``ticket_id`` (None when unknown)."""
+        return self._tickets.get(ticket_id)
+
+    def depth(self):
+        """(queued primaries, running primaries) — the live load."""
+        queued = sum(1 for t in self._queue if t.state == QUEUED)
+        return queued, len(self._running)
+
+    def has_work(self):
+        """True when :meth:`next_batch` could return something."""
+        return any(t.state == QUEUED for t in self._queue)
+
+    def forget_terminal(self):
+        """Drop terminal tickets from the id map (bounded memory)."""
+        dead = [tid for tid, t in self._tickets.items()
+                if t.state in TERMINAL]
+        for tid in dead:
+            del self._tickets[tid]
+        return len(dead)
+
+    def snapshot(self):
+        """JSON-able scheduler state for the stats endpoint."""
+        queued, running = self.depth()
+        return {"queued": queued, "running": running,
+                "tenants": {t: {"queued": c[0], "inflight": c[1]}
+                            for t, c in self._tenant_counts.items()
+                            if c[0] or c[1]},
+                **self.stats}

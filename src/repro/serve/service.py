@@ -1,0 +1,561 @@
+"""The asyncio service: cache fast path, dispatch, sockets, clients.
+
+A :class:`Service` wires the deterministic
+:class:`~repro.serve.scheduler.Scheduler` to a
+:class:`~repro.serve.pool.WorkerPool` inside one event loop:
+
+- :meth:`Service.submit` validates a request, answers **cache hits
+  immediately** from the shared :class:`~repro.eval.parallel.PointCache`
+  (no queueing, no worker), coalesces duplicates of in-flight work,
+  and otherwise queues a ticket and awaits its future;
+- a dispatch task drains compatible batches onto idle workers; each
+  batch is awaited on an executor thread, so worker death surfaces as
+  a broken pipe and turns into respawn + retry (bounded by the
+  scheduler's ``max_attempts``) or a clean
+  :class:`~repro.errors.WorkerCrashError` — never a hung client;
+- a sweep task expires deadlines through
+  :meth:`~repro.serve.scheduler.Scheduler.expire`;
+- an optional UNIX-socket endpoint speaks newline-delimited JSON
+  (:mod:`repro.serve.protocol` frames) for out-of-process clients.
+
+:class:`ServiceThread` hosts a service on a dedicated loop thread for
+synchronous callers (benchmarks, tests); :class:`Client` is the
+in-process async API; :class:`SocketClient` the blocking JSON-over-
+socket client.
+"""
+
+import asyncio
+import dataclasses
+import socket
+import threading
+import time
+
+from repro.errors import (
+    ReproError,
+    RequestCancelledError,
+    RequestError,
+    RequestTimeoutError,
+    ServeError,
+    WorkerCrashError,
+)
+from repro.eval.parallel import PointCache
+from repro.serve import protocol
+from repro.serve.pool import WorkerPool
+from repro.serve.scheduler import Scheduler, TenantQuota
+
+
+@dataclasses.dataclass
+class ServeConfig:
+    """Everything a :class:`Service` needs, as data.
+
+    ``quota`` applies to every tenant (override per tenant through
+    ``Scheduler.tenant_quotas``); ``sweep_interval`` bounds how stale
+    a deadline can go undetected; ``default_timeout`` is applied to
+    requests that carry none (None = wait forever).
+    """
+
+    workers: int = 2
+    backends: tuple = ("compiled", "fast")
+    batch_max: int = 8
+    max_attempts: int = 2
+    quota: TenantQuota = None
+    cache_dir: str = None
+    use_cache: bool = True
+    default_timeout: float = None
+    sweep_interval: float = 0.05
+    socket_path: str = None
+    mp_context: str = "fork"
+    allow_fault_injection: bool = False
+
+
+class Service:
+    """The long-running simulation service (one per event loop)."""
+
+    def __init__(self, config=None, clock=time.monotonic):
+        self.config = config or ServeConfig()
+        self.clock = clock
+        quota = self.config.quota or TenantQuota()
+        self.scheduler = Scheduler(clock=clock, quota=quota,
+                                   batch_max=self.config.batch_max,
+                                   max_attempts=self.config.max_attempts)
+        self.cache = PointCache(cache_dir=self.config.cache_dir,
+                                use_cache=self.config.use_cache)
+        self.pool = WorkerPool(
+            n_workers=self.config.workers,
+            backends=self.config.backends,
+            mp_context=self.config.mp_context,
+            allow_fault_injection=self.config.allow_fault_injection)
+        self._futures = {}
+        self._keyparams = {}
+        self._loop = None
+        self._work_event = None
+        self._tasks = []
+        self._server = None
+        self._running = False
+        self._started_at = None
+        #: Responses served straight from the point cache (no ticket).
+        self.cache_fastpath_hits = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self):
+        """Warm the pool, start the dispatch/sweep tasks (and socket)."""
+        self._loop = asyncio.get_running_loop()
+        self._work_event = asyncio.Event()
+        self._running = True
+        self._started_at = self.clock()
+        await self._loop.run_in_executor(None, self.pool.start)
+        self._tasks = [
+            self._loop.create_task(self._dispatch_loop()),
+            self._loop.create_task(self._sweep_loop()),
+        ]
+        if self.config.socket_path:
+            self._server = await asyncio.start_unix_server(
+                self._handle_connection, path=self.config.socket_path)
+        return self
+
+    async def stop(self):
+        """Stop accepting work, cancel internal tasks, stop the pool."""
+        self._running = False
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in self._tasks:
+            task.cancel()
+        for task in self._tasks:
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        self._tasks = []
+        for future in list(self._futures.values()):
+            if not future.done():
+                future.set_exception(ServeError("service stopped"))
+        self._futures.clear()
+        await self._loop.run_in_executor(None, self.pool.stop)
+
+    # -- request path ------------------------------------------------------
+
+    def _response(self, ticket_id, stats, result, digest, *, cached,
+                  coalesced, attempts, kernel, profile=None):
+        return {
+            "id": ticket_id,
+            "ok": True,
+            "kernel": kernel,
+            "result_kind": protocol.result_kind(kernel),
+            "stats": stats,
+            "result": result,
+            "digest": digest,
+            "cached": cached,
+            "coalesced": coalesced,
+            "attempts": attempts,
+            "profile": profile,
+        }
+
+    def submit_nowait(self, payload):
+        """Validate + admit one request without awaiting its result.
+
+        Returns ``(ticket_id_or_None, future)`` — the future is already
+        resolved for cache fast-path hits (ticket id None: nothing was
+        queued). Raises :class:`RequestError`/:class:`QuotaError`
+        synchronously for malformed or quota-rejected requests.
+        """
+        request = protocol.validate_request(payload)
+        if request["inject"] and not self.config.allow_fault_injection:
+            raise RequestError(
+                "fault-injection requests need a service started with "
+                "allow_fault_injection=True")
+        if request["timeout"] is None:
+            request["timeout"] = self.config.default_timeout
+        key = protocol.request_key(request)
+
+        future = self._loop.create_future()
+        if not request["profile"]:
+            entry = self.cache.load(key)
+            if entry is not None:
+                self.cache.hits += 1
+                self.cache_fastpath_hits += 1
+                stats, result, digest = entry["result"]
+                future.set_result(self._response(
+                    None, stats, result, digest, cached=True,
+                    coalesced=False, attempts=0,
+                    kernel=request["kernel"]))
+                return None, future
+            self.cache.misses += 1
+
+        ticket = self.scheduler.submit(request, key)  # may raise QuotaError
+        self._futures[ticket.id] = future
+        if ticket.primary is None:
+            self._keyparams[ticket.id] = protocol.cache_params(request)
+        self._work_event.set()
+        return ticket.id, future
+
+    async def submit(self, payload):
+        """Full round trip: admit, await, return the response dict.
+
+        Raises the well-typed :class:`~repro.errors.ServeError`
+        subclasses on timeout, cancellation, quota, or worker crash.
+        """
+        _ticket_id, future = self.submit_nowait(payload)
+        return await future
+
+    def cancel(self, ticket_id):
+        """Cancel a queued/coalesced/running ticket; returns True if so."""
+        settled = self.scheduler.cancel(ticket_id)
+        for ticket in settled:
+            self._resolve_error(ticket, RequestCancelledError(
+                f"request {ticket.id} cancelled"))
+        return bool(settled)
+
+    # -- internal loops ----------------------------------------------------
+
+    def _resolve_error(self, ticket, exc):
+        self._keyparams.pop(ticket.id, None)
+        future = self._futures.pop(ticket.id, None)
+        if future is not None and not future.done():
+            future.set_exception(exc)
+
+    def _resolve_ok(self, ticket, response):
+        self._keyparams.pop(ticket.id, None)
+        future = self._futures.pop(ticket.id, None)
+        if future is not None and not future.done():
+            future.set_result(response)
+
+    async def _dispatch_loop(self):
+        while self._running:
+            await self._work_event.wait()
+            self._work_event.clear()
+            while self._running and self.scheduler.has_work():
+                idle = self.pool.idle_workers()
+                if not idle:
+                    break
+                batch = self.scheduler.next_batch()
+                if not batch:
+                    break  # every queued tenant is at its inflight cap
+                worker = idle[0]
+                jobs = [{"request": t.request, "inject": t.request["inject"]}
+                        for t in batch]
+                try:
+                    self.pool.send_batch(worker, jobs)
+                except (BrokenPipeError, OSError):
+                    self._loop.create_task(
+                        self._revive_worker(worker, batch))
+                    continue
+                self._loop.create_task(self._await_batch(worker, batch))
+
+    async def _await_batch(self, worker, batch):
+        try:
+            results = await self._loop.run_in_executor(
+                None, self.pool.recv_batch, worker)
+        except (EOFError, OSError):
+            await self._revive_worker(worker, batch)
+            return
+        for ticket, (status, payload) in zip(batch, results):
+            if status == "ok":
+                stats, result, digest, profile = payload
+                params = self._keyparams.get(ticket.id)
+                if not ticket.request["profile"]:
+                    self.cache.store(ticket.key, params,
+                                     (stats, result, digest))
+                for settled in self.scheduler.complete(ticket):
+                    self._resolve_ok(settled, self._response(
+                        settled.id, stats, result, digest, cached=False,
+                        coalesced=settled is not ticket,
+                        attempts=ticket.attempts,
+                        kernel=ticket.request["kernel"], profile=profile))
+            else:
+                for settled in self.scheduler.fail(ticket):
+                    self._resolve_error(settled, ServeError(payload))
+        if len(results) < len(batch):
+            # a worker that died after sending a partial reply
+            await self._revive_worker(worker, batch[len(results):],
+                                      respawn=False)
+        self._work_event.set()
+
+    async def _revive_worker(self, worker, tickets, respawn=True):
+        """Respawn a dead worker and retry (or cleanly fail) its batch."""
+        if respawn:
+            await self._loop.run_in_executor(None, self.pool.respawn,
+                                             worker)
+        for ticket in tickets:
+            if self.scheduler.requeue(ticket):
+                continue
+            for settled in self.scheduler.fail(ticket):
+                self._resolve_error(settled, WorkerCrashError(
+                    f"worker died executing request {ticket.id} "
+                    f"(attempt {ticket.attempts}/"
+                    f"{self.scheduler.max_attempts})"))
+        self._work_event.set()
+
+    async def _sweep_loop(self):
+        while self._running:
+            await asyncio.sleep(self.config.sweep_interval)
+            for ticket in self.scheduler.expire():
+                self._resolve_error(ticket, RequestTimeoutError(
+                    f"request {ticket.id} missed its "
+                    f"{ticket.request['timeout']}s deadline"))
+            self.scheduler.forget_terminal()
+
+    # -- stats -------------------------------------------------------------
+
+    def stats(self):
+        """JSON-able service statistics (scheduler, pool, cache)."""
+        return {
+            "uptime_s": (self.clock() - self._started_at
+                         if self._started_at is not None else 0.0),
+            "scheduler": self.scheduler.snapshot(),
+            "pool": self.pool.snapshot(),
+            "cache": {"hits": self.cache.hits,
+                      "misses": self.cache.misses,
+                      "fastpath_hits": self.cache_fastpath_hits,
+                      "dir": self.cache.cache_dir,
+                      "enabled": self.cache.use_cache},
+        }
+
+    # -- socket endpoint ---------------------------------------------------
+
+    async def _handle_connection(self, reader, writer):
+        lock = asyncio.Lock()
+        client_tickets = {}
+
+        async def send(message):
+            async with lock:
+                writer.write(protocol.encode_message(message))
+                await writer.drain()
+
+        async def handle_submit(client_id, request_payload):
+            try:
+                ticket_id, future = self.submit_nowait(request_payload or {})
+                if ticket_id is not None:
+                    client_tickets[client_id] = ticket_id
+                response = await future
+            except ReproError as exc:
+                await send({"op": "error", "id": client_id,
+                            "error": str(exc),
+                            "kind": type(exc).__name__})
+                return
+            finally:
+                client_tickets.pop(client_id, None)
+            kind = response["result_kind"]
+            await send({
+                "op": "result", "id": client_id, "ok": True,
+                "kernel": response["kernel"], "result_kind": kind,
+                "stats": response["stats"],
+                "result": protocol.encode_result(kind, response["result"]),
+                "digest": response["digest"],
+                "cached": response["cached"],
+                "coalesced": response["coalesced"],
+                "attempts": response["attempts"],
+                "profile": response["profile"],
+            })
+
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                try:
+                    message = protocol.decode_message(line)
+                except RequestError as exc:
+                    await send({"op": "error", "id": None,
+                                "error": str(exc), "kind": "RequestError"})
+                    continue
+                op = message.get("op", "submit")
+                if op == "submit":
+                    self._loop.create_task(handle_submit(
+                        message.get("id"), message.get("request")))
+                elif op == "cancel":
+                    ticket_id = client_tickets.get(message.get("id"))
+                    cancelled = (self.cancel(ticket_id)
+                                 if ticket_id is not None else False)
+                    await send({"op": "cancelled", "id": message.get("id"),
+                                "ok": cancelled})
+                elif op == "stats":
+                    await send({"op": "stats", **self.stats()})
+                elif op == "ping":
+                    await send({"op": "pong"})
+                else:
+                    await send({"op": "error", "id": message.get("id"),
+                                "error": f"unknown op {op!r}",
+                                "kind": "RequestError"})
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+
+
+class Client:
+    """In-process async client bound to one :class:`Service`."""
+
+    def __init__(self, service, tenant="anon"):
+        self.service = service
+        self.tenant = tenant
+
+    async def run(self, kernel, **fields):
+        """Submit one request and await its response dict."""
+        payload = {"kernel": kernel, "tenant": self.tenant, **fields}
+        return await self.service.submit(payload)
+
+
+class ServiceThread:
+    """A service hosted on a dedicated event-loop thread.
+
+    Synchronous callers (benchmarks, stress tests, notebooks) start
+    one, fire :meth:`request` from any thread, and :meth:`stop` it.
+    Every blocking wait takes a ``wait_timeout`` so a client can never
+    hang on a lost request — the acceptance contract of the
+    fault-injection battery.
+    """
+
+    def __init__(self, config=None):
+        self.config = config or ServeConfig()
+        self.service = None
+        self._loop = None
+        self._thread = None
+
+    def start(self, timeout=60):
+        """Start the loop thread and the service; returns self."""
+        started = threading.Event()
+
+        def runner():
+            self._loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(self._loop)
+            started.set()
+            self._loop.run_forever()
+
+        self._thread = threading.Thread(target=runner,
+                                        name="repro-serve", daemon=True)
+        self._thread.start()
+        started.wait(timeout)
+        self.service = Service(self.config)
+        asyncio.run_coroutine_threadsafe(
+            self.service.start(), self._loop).result(timeout)
+        return self
+
+    def request(self, payload, wait_timeout=60):
+        """Round-trip one request from this thread (raises ServeError)."""
+        future = asyncio.run_coroutine_threadsafe(
+            self.service.submit(payload), self._loop)
+        return future.result(wait_timeout)
+
+    def submit_many(self, payloads, wait_timeout=120):
+        """Submit a list concurrently; returns responses/exceptions.
+
+        The returned list is input-ordered; failed requests appear as
+        the raised exception instance instead of a response dict.
+        """
+        async def gather():
+            coros = [self.service.submit(p) for p in payloads]
+            return await asyncio.gather(*coros, return_exceptions=True)
+
+        future = asyncio.run_coroutine_threadsafe(gather(), self._loop)
+        return future.result(wait_timeout)
+
+    def stats(self, wait_timeout=10):
+        """The service's stats dict, fetched on the loop thread."""
+        async def get():
+            return self.service.stats()
+
+        return asyncio.run_coroutine_threadsafe(
+            get(), self._loop).result(wait_timeout)
+
+    def stop(self, timeout=30):
+        """Stop the service and tear the loop thread down."""
+        if self.service is not None:
+            asyncio.run_coroutine_threadsafe(
+                self.service.stop(), self._loop).result(timeout)
+            self.service = None
+        if self._loop is not None:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout)
+            self._loop.close()
+            self._loop = None
+            self._thread = None
+
+
+class SocketClient:
+    """Blocking newline-JSON client for the UNIX-socket endpoint.
+
+    Responses are matched to requests by client-assigned id, so many
+    requests may be in flight on one connection and results stream
+    back in completion order.
+    """
+
+    def __init__(self, path, timeout=60):
+        self.sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self.sock.settimeout(timeout)
+        self.sock.connect(path)
+        self._file = self.sock.makefile("rb")
+        self._pending = {}
+        self._next_id = 0
+
+    def _send(self, message):
+        self.sock.sendall(protocol.encode_message(message))
+
+    def _read_until(self, want_id=None, want_op=None):
+        while True:
+            line = self._file.readline()
+            if not line:
+                raise ServeError("server closed the connection")
+            message = protocol.decode_message(line)
+            op = message.get("op")
+            if want_op is not None and op == want_op:
+                return message
+            if want_id is not None and message.get("id") == want_id:
+                return message
+            if "id" in message and message["id"] is not None:
+                self._pending[message["id"]] = message
+
+    def submit(self, request):
+        """Fire one request; returns its client id (non-blocking)."""
+        client_id = f"c{self._next_id}"
+        self._next_id += 1
+        self._send({"op": "submit", "id": client_id, "request": request})
+        return client_id
+
+    def wait(self, client_id):
+        """Block for one submitted request's response message.
+
+        Raises :class:`ServeError` for error responses, with the
+        server-side exception class name in the message.
+        """
+        message = self._pending.pop(client_id, None)
+        if message is None:
+            message = self._read_until(want_id=client_id)
+        if message.get("op") == "error":
+            raise ServeError(
+                f"{message.get('kind')}: {message.get('error')}")
+        return message
+
+    def request(self, request):
+        """Submit + wait in one call; returns the response message."""
+        return self.wait(self.submit(request))
+
+    def cancel(self, client_id):
+        """Ask the server to cancel a submitted request."""
+        self._send({"op": "cancel", "id": client_id})
+        return self._read_until(want_op="cancelled")
+
+    def stats(self):
+        """The server's stats dict."""
+        self._send({"op": "stats"})
+        return self._read_until(want_op="stats")
+
+    def ping(self):
+        """Liveness probe."""
+        self._send({"op": "ping"})
+        return self._read_until(want_op="pong")
+
+    def close(self):
+        """Close the connection."""
+        try:
+            self._file.close()
+        finally:
+            self.sock.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()

@@ -23,6 +23,71 @@ engine holds ``None``).
 
 from collections import Counter
 
+#: The shape contract of :func:`report`'s JSON payload. Keys map to
+#: either a type (scalar field), a dict ``{str: type}`` (a folded
+#: per-component counter table), or a nested schema dict. The serve
+#: layer streams these payloads to clients, so the shape is a wire
+#: contract validated by :func:`validate_report` (and pinned by
+#: ``tests/test_profile_schema.py``) — extend it deliberately, never
+#: accidentally.
+REPORT_SCHEMA = {
+    "engines": int,
+    "total_ticks": int,
+    "total_wakes": int,
+    "fast_forwards": int,
+    "fast_forwarded_cycles": int,
+    "ticks_by_component": {str: int},
+    "wakes_by_component": {str: int},
+    "sleeps_by_component": {str: int},
+    "timed_sleeps_by_component": {str: int},
+    "program_cache": {
+        "hits": int,
+        "misses": int,
+        "entries": int,
+    },
+}
+
+
+def validate_report(payload, schema=None, path="report"):
+    """Check a profiler payload against :data:`REPORT_SCHEMA`.
+
+    Returns the payload; raises :class:`TypeError` naming the first
+    offending field. Exact-key matching: missing and unexpected keys
+    both fail, so producers and consumers cannot drift silently.
+    """
+    schema = REPORT_SCHEMA if schema is None else schema
+    if not isinstance(payload, dict):
+        raise TypeError(f"{path}: expected dict, got "
+                        f"{type(payload).__name__}")
+    if set(schema) == {str}:  # counter table: str keys, typed values
+        value_type = schema[str]
+        for key, value in payload.items():
+            if not isinstance(key, str):
+                raise TypeError(f"{path}: non-string key {key!r}")
+            if not isinstance(value, value_type) or isinstance(value, bool):
+                raise TypeError(
+                    f"{path}[{key!r}]: expected "
+                    f"{value_type.__name__}, got {type(value).__name__}")
+        return payload
+    missing = sorted(set(schema) - set(payload))
+    unexpected = sorted(set(payload) - set(schema))
+    if missing or unexpected:
+        problems = []
+        if missing:
+            problems.append(f"missing keys {missing}")
+        if unexpected:
+            problems.append(f"unexpected keys {unexpected}")
+        raise TypeError(f"{path}: {'; '.join(problems)}")
+    for key, expected in schema.items():
+        value = payload[key]
+        if isinstance(expected, dict):
+            validate_report(value, expected, f"{path}.{key}")
+        elif not isinstance(value, expected) or isinstance(value, bool):
+            raise TypeError(f"{path}.{key}: expected {expected.__name__}, "
+                            f"got {type(value).__name__}")
+    return payload
+
+
 #: Module switch; flipped by :func:`enable` / :func:`disable`.
 ACTIVE = False
 

@@ -159,9 +159,9 @@ class TestDispatch:
 
 
 class TestLegacyShims:
-    @pytest.fixture(autouse=True)
-    def fresh_warning_registry(self, monkeypatch):
-        monkeypatch.setattr(backend_base, "_WARNED_SHIMS", set())
+    # warning-registry isolation comes from the shared conftest.py
+    # autouse fixture: every test in the suite sees a fresh
+    # _WARNED_SHIMS, so these assertions hold in any execution order.
 
     def test_shim_results_match_run(self):
         ops = small_operands("csrmv")
@@ -173,6 +173,42 @@ class TestLegacyShims:
                                    **ops)
         assert y_old.tobytes() == y_new.tobytes()
         assert s_old.cycles == s_new.cycles
+
+    @pytest.mark.parametrize("kernel", sorted(
+        k for k in api.KERNELS if k != "cluster_csrmv"))
+    def test_every_shim_dispatches_identically(self, kernel):
+        """Each legacy method forwards through run() bit-identically."""
+        ops = small_operands(kernel)
+        backend = FastBackend()
+        spec = get_kernel(kernel)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            if spec.has_variant:
+                s_old, r_old = getattr(backend, kernel)(
+                    *ops.values(), "issr", 32)
+            else:
+                s_old, r_old = getattr(backend, kernel)(*ops.values(), 32)
+        s_new, r_new = backend.run(kernel, variant="issr", index_bits=32,
+                                   **ops)
+        if hasattr(r_old, "to_dense"):
+            assert (r_old.to_dense().tobytes()
+                    == r_new.to_dense().tobytes())
+        else:
+            assert (np.asarray(r_old, np.float64).tobytes()
+                    == np.asarray(r_new, np.float64).tobytes())
+        assert s_old.cycles == s_new.cycles
+
+    def test_isolation_makes_warning_order_irrelevant(self):
+        """Regression for the order-dependent shim-warning suite: the
+        conftest fixture hands every test a fresh registry, so a shim
+        warns here even though other tests already exercised shims."""
+        assert backend_base._WARNED_SHIMS == set()
+        ops = small_operands("csrmv")
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            FastBackend().csrmv(ops["matrix"], ops["x"], "issr", 32)
+        assert [w for w in caught
+                if issubclass(w.category, DeprecationWarning)]
 
     def test_shims_warn_once_per_class_and_kernel(self):
         ops = small_operands("spvv")

@@ -1,0 +1,140 @@
+"""Schema-validated coverage of the profiler's JSON report shape.
+
+``repro.sim.profile.report()`` payloads cross process and socket
+boundaries (the serve layer streams them to clients), so the shape is
+a wire contract: :data:`REPORT_SCHEMA` + :func:`validate_report` pin
+it with exact-key matching. These tests check a *live* report against
+the schema and that the validator rejects every drift mode — missing
+keys, extra keys, wrong value types, bools posing as ints, non-string
+component labels.
+"""
+
+import json
+
+import pytest
+
+from repro.backends import get_backend
+from repro.sim import profile
+from repro.sim.profile import REPORT_SCHEMA, validate_report
+from repro.workloads import random_csr, random_dense_vector
+
+
+@pytest.fixture
+def live_report():
+    """A real profiler payload from one cycle-backend csrmv run."""
+    profile.enable(reset=True)
+    try:
+        backend = get_backend("cycle")
+        matrix = random_csr(8, 32, 64, seed=1)
+        x = random_dense_vector(32, seed=2)
+        backend.run("csrmv", variant="issr", matrix=matrix, x=x)
+    finally:
+        profile.disable()
+    return profile.report()
+
+
+class TestLivePayload:
+    def test_live_report_validates(self, live_report):
+        assert validate_report(live_report) is live_report
+
+    def test_live_report_counts_real_work(self, live_report):
+        assert live_report["engines"] >= 1
+        assert live_report["total_ticks"] > 0
+        assert live_report["ticks_by_component"]
+
+    def test_live_report_is_json_round_trippable(self, live_report):
+        decoded = json.loads(json.dumps(live_report))
+        validate_report(decoded)
+        assert decoded == live_report
+
+    def test_disabled_profiler_report_still_validates(self):
+        profile.disable()
+        profile._PROFILES.clear()
+        validate_report(profile.report())
+
+
+class TestValidatorRejections:
+    def valid(self):
+        return {
+            "engines": 1, "total_ticks": 10, "total_wakes": 2,
+            "fast_forwards": 0, "fast_forwarded_cycles": 0,
+            "ticks_by_component": {"fpu": 10},
+            "wakes_by_component": {},
+            "sleeps_by_component": {},
+            "timed_sleeps_by_component": {},
+            "program_cache": {"hits": 1, "misses": 1, "entries": 1},
+        }
+
+    def test_valid_payload_passes(self):
+        validate_report(self.valid())
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(TypeError, match="expected dict"):
+            validate_report([("engines", 1)])
+
+    def test_missing_key_rejected(self):
+        payload = self.valid()
+        del payload["total_ticks"]
+        with pytest.raises(TypeError, match="missing keys.*total_ticks"):
+            validate_report(payload)
+
+    def test_unexpected_key_rejected(self):
+        payload = self.valid()
+        payload["surprise"] = 1
+        with pytest.raises(TypeError, match="unexpected keys.*surprise"):
+            validate_report(payload)
+
+    def test_wrong_scalar_type_rejected(self):
+        payload = self.valid()
+        payload["engines"] = "1"
+        with pytest.raises(TypeError, match="report.engines"):
+            validate_report(payload)
+
+    def test_bool_is_not_an_int(self):
+        payload = self.valid()
+        payload["fast_forwards"] = True
+        with pytest.raises(TypeError, match="fast_forwards"):
+            validate_report(payload)
+
+    def test_counter_table_value_type_enforced(self):
+        payload = self.valid()
+        payload["ticks_by_component"] = {"fpu": 1.5}
+        with pytest.raises(TypeError, match="ticks_by_component"):
+            validate_report(payload)
+
+    def test_counter_table_key_type_enforced(self):
+        payload = self.valid()
+        payload["wakes_by_component"] = {3: 1}
+        with pytest.raises(TypeError, match="non-string key"):
+            validate_report(payload)
+
+    def test_nested_schema_enforced(self):
+        payload = self.valid()
+        payload["program_cache"] = {"hits": 1, "misses": 1}
+        with pytest.raises(TypeError,
+                           match="program_cache.*missing keys.*entries"):
+            validate_report(payload)
+
+    def test_error_paths_name_the_field(self):
+        payload = self.valid()
+        payload["program_cache"]["hits"] = None
+        with pytest.raises(TypeError, match="report.program_cache.hits"):
+            validate_report(payload)
+
+
+class TestSchemaConstants:
+    def test_schema_covers_exactly_the_report_keys(self, live_report):
+        assert set(REPORT_SCHEMA) == set(live_report)
+
+    def test_served_profile_payloads_validate(self):
+        """The serve worker ships report() verbatim; decode must agree."""
+        from repro.serve.protocol import decode_message, encode_message
+
+        payload = {
+            "engines": 0, "total_ticks": 0, "total_wakes": 0,
+            "fast_forwards": 0, "fast_forwarded_cycles": 0,
+            "ticks_by_component": {}, "wakes_by_component": {},
+            "sleeps_by_component": {}, "timed_sleeps_by_component": {},
+            "program_cache": {"hits": 0, "misses": 0, "entries": 0},
+        }
+        validate_report(decode_message(encode_message(payload)))
