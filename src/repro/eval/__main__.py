@@ -24,6 +24,7 @@ import time
 
 from repro.backends import BACKENDS
 from repro.eval.experiments import (
+    BUDGET_AWARE,
     CLUSTER_AWARE,
     DESCRIPTIONS,
     EXPERIMENTS,
@@ -56,6 +57,23 @@ def _positive_int(text):
         raise argparse.ArgumentTypeError(
             f"process count must be >= 1, got {value} "
             "(omit --parallel to run inline)")
+    return value
+
+
+def _budget_bytes(text):
+    """Parse ``--mainmem-budget`` — bytes with optional k/M/G suffix."""
+    scale = {"k": 1 << 10, "m": 1 << 20, "g": 1 << 30}
+    raw = text.strip()
+    mult = scale.get(raw[-1:].lower(), 1)
+    digits = raw[:-1] if mult != 1 else raw
+    try:
+        value = int(digits) * mult
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a byte count (optionally k/M/G-suffixed), got {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"budget must be positive, got {text!r}")
     return value
 
 
@@ -98,6 +116,12 @@ def main(argv=None):
                         metavar="N[,N...]",
                         help="cluster-count sweep for the cluster-aware "
                              f"experiments ({', '.join(sorted(CLUSTER_AWARE))})")
+    parser.add_argument("--mainmem-budget", type=_budget_bytes, default=None,
+                        metavar="BYTES",
+                        help="main-memory byte budget for the out-of-core "
+                             "experiments "
+                             f"({', '.join(sorted(BUDGET_AWARE))}); "
+                             "accepts k/M/G suffixes (e.g. 64M)")
     # const=0 marks the bare flag; it can never clash with user input
     # because _positive_int rejects an explicit "--parallel 0".
     parser.add_argument("--parallel", type=_positive_int, default=None,
@@ -163,7 +187,8 @@ def main(argv=None):
     t0 = time.time()
     if set(ids) == set(EXPERIMENTS):
         results = run_all(quick=quick, backend=args.backend, runner=runner,
-                          variant=args.variant, clusters=args.clusters)
+                          variant=args.variant, clusters=args.clusters,
+                          mainmem_budget=args.mainmem_budget)
         times = {}
     else:
         results = {}
@@ -173,7 +198,8 @@ def main(argv=None):
             results[eid] = run_experiment(eid, quick=quick,
                                           backend=args.backend, runner=runner,
                                           variant=args.variant,
-                                          clusters=args.clusters)
+                                          clusters=args.clusters,
+                                          mainmem_budget=args.mainmem_budget)
             times[eid] = time.time() - te
     for eid in ids:
         print(results[eid].render())

@@ -16,6 +16,7 @@ from repro.eval import (
     fig4b,
     fig4c,
     fig4d,
+    outofcore,
     scaling,
     solvers,
     sparse_sparse,
@@ -34,11 +35,15 @@ QUICK = {
     "sparse_sparse": dict(nnz=256, spgemm_n=48),
     "solvers": dict(densities=(0.002, 0.01), n_iters=5,
                     clusters=(1, 2, 4)),
+    "outofcore": dict(nrows=6000, n_iters=2, window_rows=512),
 }
 
 #: Experiments that execute kernels and honor ``backend=``.
 BACKEND_AWARE = frozenset({"E1", "E2", "E3", "E4", "E8", "E9", "E10",
-                           "scaling", "sparse_sparse", "solvers"})
+                           "scaling", "sparse_sparse", "solvers",
+                           "outofcore"})
+#: Experiments that honor the ``--mainmem-budget`` byte override.
+BUDGET_AWARE = frozenset({"outofcore"})
 #: Sweep-shaped experiments that honor ``runner=`` point fan-out.
 PARALLEL_AWARE = frozenset({"E1", "E2", "E3", "E4", "E9", "scaling",
                             "sparse_sparse", "solvers"})
@@ -66,6 +71,8 @@ DESCRIPTIONS = {
                      "speedup vs match density",
     "solvers": "E13 — TCDM-resident iterative solvers (CG/Jacobi/power) "
                "on the pipeline subsystem",
+    "outofcore": "E14 — out-of-core streaming-tiled execution on "
+                 "million-row mmap-backed matrices",
 }
 
 #: Structured registry metadata: the JSON artifact each experiment
@@ -99,6 +106,12 @@ EXPERIMENT_INFO = {
                            "no_matrix_redma",
                            "variant_bit_identical",
                            "solvers_converge")},
+    "outofcore": {"output": "outofcore.json",
+                  "claims": ("peak_resident_under_quarter",
+                             "streamed_bit_identical_backends",
+                             "window_bit_identical_resident",
+                             "cycle_prefix_bit_identical",
+                             "tiles_streamed_once_per_pass")},
 }
 
 
@@ -152,17 +165,21 @@ EXPERIMENTS = {
     # E13: TCDM-resident iterative solvers on the pipeline subsystem
     # (defaults to the fast backend); "solvers" is its CLI name.
     "solvers": solvers.run,
+    # E14: out-of-core streaming-tiled execution over mmap-backed CSR
+    # caches (defaults to fast+compiled); "outofcore" is its CLI name.
+    "outofcore": outofcore.run,
 }
 
 
 def run_experiment(exp_id, quick=True, backend=None, runner=None,
-                   variant=None, clusters=None, **overrides):
+                   variant=None, clusters=None, mainmem_budget=None,
+                   **overrides):
     """Run one experiment by id; quick mode shrinks the workloads.
 
-    ``backend``/``variant``/``clusters`` thread through only to the
-    experiments whose drivers accept them (the ``*_AWARE`` sets) —
-    passing them alongside ids that fix those knobs is not an error,
-    the flags simply don't apply there.
+    ``backend``/``variant``/``clusters``/``mainmem_budget`` thread
+    through only to the experiments whose drivers accept them (the
+    ``*_AWARE`` sets) — passing them alongside ids that fix those
+    knobs is not an error, the flags simply don't apply there.
     """
     fn = EXPERIMENTS[exp_id]
     kwargs = dict(QUICK.get(exp_id, {})) if quick else {}
@@ -175,11 +192,13 @@ def run_experiment(exp_id, quick=True, backend=None, runner=None,
         kwargs["variant"] = variant
     if clusters is not None and exp_id in CLUSTER_AWARE:
         kwargs["clusters"] = tuple(clusters)
+    if mainmem_budget is not None and exp_id in BUDGET_AWARE:
+        kwargs["mainmem_budget"] = int(mainmem_budget)
     return fn(**kwargs)
 
 
 def run_all(quick=True, backend=None, runner=None, variant=None,
-            clusters=None):
+            clusters=None, mainmem_budget=None):
     """Run every experiment; returns {exp_id: ExperimentResult}."""
     results = {}
     for exp_id in EXPERIMENTS:
@@ -188,5 +207,6 @@ def run_all(quick=True, backend=None, runner=None, variant=None,
         else:
             results[exp_id] = run_experiment(
                 exp_id, quick=quick, backend=backend, runner=runner,
-                variant=variant, clusters=clusters)
+                variant=variant, clusters=clusters,
+                mainmem_budget=mainmem_budget)
     return results

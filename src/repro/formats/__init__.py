@@ -15,6 +15,15 @@ from repro.formats.builder import (
 from repro.formats.csc import CscMatrix
 from repro.formats.csf import CsfTensor
 from repro.formats.csr import CsrMatrix
+from repro.formats.external import (
+    CACHE_SUFFIX,
+    CsrCacheWriter,
+    MmapCsrMatrix,
+    fetch_suitesparse,
+    ingest_matrix_market,
+    open_csr_cache,
+    write_csr_cache,
+)
 from repro.formats.fiber import SparseFiber
 from repro.formats.mmio import read_matrix_market, write_matrix_market
 from repro.formats import convert
@@ -29,5 +38,12 @@ __all__ = [
     "spgemm_row_upper_bound",
     "read_matrix_market",
     "write_matrix_market",
+    "CACHE_SUFFIX",
+    "CsrCacheWriter",
+    "MmapCsrMatrix",
+    "ingest_matrix_market",
+    "open_csr_cache",
+    "write_csr_cache",
+    "fetch_suitesparse",
     "convert",
 ]

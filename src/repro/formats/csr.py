@@ -73,6 +73,42 @@ class CsrMatrix:
         return np.diff(self.ptr)
 
     @classmethod
+    def _wrap(cls, ptr, idcs, vals, shape):
+        """Adopt pre-validated arrays without re-running the checks.
+
+        Trusted constructor for callers that already guarantee the CSR
+        invariants (the mmap cache header carries a checksum; row-block
+        tile slices inherit validity from their parent). Skipping the
+        per-row validation loop is what keeps tile materialization
+        O(rows-in-tile) and zero-copy: ``idcs``/``vals`` may be
+        ``np.memmap`` slices and are adopted as-is.
+        """
+        matrix = object.__new__(CsrMatrix)
+        matrix.ptr = ptr
+        matrix.idcs = idcs
+        matrix.vals = vals
+        matrix.nrows = int(shape[0])
+        matrix.ncols = int(shape[1])
+        return matrix
+
+    def row_block(self, r0, r1):
+        """Rows ``[r0, r1)`` as a CSR view sharing idcs/vals storage.
+
+        The returned matrix keeps the parent's column space; only the
+        row-pointer slice is materialized (rebased to 0), so on an
+        mmap-backed matrix this is the lazy tile constructor — the
+        nonzero payload is paged in on first touch, not on slicing.
+        """
+        if not (0 <= r0 <= r1 <= self.nrows):
+            raise FormatError(
+                f"row block [{r0}, {r1}) out of range for "
+                f"{self.nrows}-row matrix")
+        lo, hi = int(self.ptr[r0]), int(self.ptr[r1])
+        ptr = np.asarray(self.ptr[r0:r1 + 1], dtype=np.int64) - lo
+        return CsrMatrix._wrap(ptr, self.idcs[lo:hi], self.vals[lo:hi],
+                               (r1 - r0, self.ncols))
+
+    @classmethod
     def from_dense(cls, dense, tol=0.0):
         dense = np.asarray(dense, dtype=np.float64)
         if dense.ndim != 2:

@@ -115,16 +115,26 @@ def _fill_array(raw, nrows, ncols, symmetry):
 
 
 def _expand_symmetry(rows, cols, vals, symmetry):
+    """Mirror every stored off-diagonal entry into the other triangle.
+
+    Matrix Market symmetric/skew-symmetric files store one triangle
+    only; CSR consumers need both. The mirrored triples are taken from
+    the *original* arrays before any concatenation — the previous
+    implementation rebound ``rows`` mid-expression and only stayed
+    correct through a fragile ``rows[:len(vals)]`` re-slice of the
+    rebound array, which silently dropped the mirror (leaving only the
+    stored triangle in the CSR) under any reordering of those lines.
+    """
     if symmetry == "general":
         return rows, cols, vals
     off = rows != cols
-    if symmetry == "skew-symmetric" and np.any(~off):
+    if symmetry == "skew-symmetric" and not np.all(off):
         raise FormatError("skew-symmetric matrices cannot store diagonal entries")
-    mirror = -vals[off] if symmetry == "skew-symmetric" else vals[off]
-    rows = np.concatenate([rows, cols[off]])
-    cols = np.concatenate([cols, rows[: len(vals)][off]])
-    vals = np.concatenate([vals, mirror])
-    return rows, cols, vals
+    mirror_rows, mirror_cols = cols[off], rows[off]
+    mirror_vals = -vals[off] if symmetry == "skew-symmetric" else vals[off]
+    return (np.concatenate([rows, mirror_rows]),
+            np.concatenate([cols, mirror_cols]),
+            np.concatenate([vals, mirror_vals]))
 
 
 def write_matrix_market(matrix, path, comment=None):

@@ -25,6 +25,60 @@ IN = "in"    # main memory -> TCDM
 OUT = "out"  # TCDM -> main memory
 
 
+def transfer_cycles(n_words):
+    """Cycles one duplex channel needs to move ``n_words`` (8/cycle).
+
+    The analytic counterpart of a congestion-free :class:`Dma`
+    transfer — the streaming tiled executor prices its modeled tile
+    prefetches with this, so its overlap model and the cycle engine
+    share one bandwidth contract.
+    """
+    return -(-int(n_words) // BEAT_WORDS)
+
+
+class TransferLedger:
+    """Tile-granular DMA bookkeeping for out-of-core streaming passes.
+
+    Each :meth:`record` notes one modeled transfer ``(pass_id, tag,
+    direction, words)`` — e.g. tag ``("tile", 3)`` for row-tile 3 of a
+    streaming CsrMV. The golden-file differential tests use
+    :meth:`counts` to prove every tile crosses the link **exactly
+    once per pass** (no silent re-fetch, no skipped tile), the same
+    role the ``Dma`` word counters play for the solver pipeline's
+    zero-re-DMA claim.
+    """
+
+    def __init__(self):
+        self.records = []
+
+    def record(self, pass_id, tag, words, direction=IN):
+        """Note one modeled transfer of ``words`` 64-bit words."""
+        if direction not in (IN, OUT):
+            raise ConfigError(f"bad ledger direction {direction!r}")
+        self.records.append((pass_id, tag, direction, int(words)))
+
+    def counts(self, pass_id=None, direction=IN):
+        """{tag: number of transfers} for one pass (or all passes)."""
+        out = {}
+        for pid, tag, dirn, _words in self.records:
+            if dirn != direction:
+                continue
+            if pass_id is not None and pid != pass_id:
+                continue
+            out[tag] = out.get(tag, 0) + 1
+        return out
+
+    def words(self, pass_id=None, direction=None):
+        """Total words moved (optionally one pass / one direction)."""
+        return sum(w for pid, _tag, dirn, w in self.records
+                   if (pass_id is None or pid == pass_id)
+                   and (direction is None or dirn == direction))
+
+    def passes(self):
+        """Sorted pass ids seen so far."""
+        return sorted({pid for pid, _t, _d, _w in self.records})
+
+
 class DmaTransfer:
     """One programmed transfer (1D, or 2D as `rows` strided segments)."""
 

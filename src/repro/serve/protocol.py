@@ -204,10 +204,14 @@ def request_key(request):
 
 
 def _validate_generator_spec(kernel, operand, gen_spec):
+    if isinstance(gen_spec, dict) and "matrix_ref" in gen_spec:
+        _validate_matrix_ref(operand, gen_spec)
+        return
     if not isinstance(gen_spec, dict) or "gen" not in gen_spec:
         raise RequestError(
             f"workload.{operand} for kernel {kernel!r} must be a mapping "
-            f"with a 'gen' field naming one of {GENERATORS}")
+            f"with a 'gen' field naming one of {GENERATORS}, or a "
+            "'matrix_ref' naming an on-disk CSR cache")
     if gen_spec["gen"] not in GENERATORS:
         raise RequestError(
             f"workload.{operand}: unknown generator {gen_spec['gen']!r}; "
@@ -217,6 +221,37 @@ def _validate_generator_spec(kernel, operand, gen_spec):
         raise RequestError(
             f"workload.{operand}: 'select' must be 0 or 1 (tuple element "
             f"of a pair generator), got {select!r}")
+
+
+def _validate_matrix_ref(operand, gen_spec):
+    """Check a ``matrix_ref`` operand spec (on-disk CSR cache).
+
+    The spec stays a pure JSON description — the path is only opened
+    inside the worker at build time, so a request referencing a
+    missing or corrupt cache fails that one execution, not admission.
+    """
+    from repro.formats.external import CACHE_SUFFIX
+
+    unknown = sorted(set(gen_spec) - {"matrix_ref", "rows"})
+    if unknown:
+        raise RequestError(
+            f"workload.{operand}: unknown matrix_ref fields {unknown}; "
+            "schema is (matrix_ref, rows)")
+    ref = gen_spec["matrix_ref"]
+    if not isinstance(ref, str) or not ref.endswith(CACHE_SUFFIX):
+        raise RequestError(
+            f"workload.{operand}: matrix_ref must be a path string ending "
+            f"in {CACHE_SUFFIX!r}, got {ref!r}")
+    rows = gen_spec.get("rows")
+    if rows is not None:
+        ok = (isinstance(rows, (list, tuple)) and len(rows) == 2
+              and all(isinstance(r, int) and not isinstance(r, bool)
+                      for r in rows)
+              and 0 <= rows[0] < rows[1])
+        if not ok:
+            raise RequestError(
+                f"workload.{operand}: 'rows' must be [r0, r1] with "
+                f"0 <= r0 < r1, got {rows!r}")
 
 
 def build_operands(request):
@@ -234,6 +269,9 @@ def build_operands(request):
 
     built = {}
     for operand, gen_spec in request["workload"].items():
+        if "matrix_ref" in gen_spec:
+            built[operand] = _open_matrix_ref(operand, gen_spec)
+            continue
         kwargs = {k: v for k, v in gen_spec.items()
                   if k not in ("gen", "select")}
         try:
@@ -246,6 +284,30 @@ def build_operands(request):
             value = value[gen_spec.get("select", 0)]
         built[operand] = value
     return built
+
+
+def _open_matrix_ref(operand, gen_spec):
+    """Open a ``matrix_ref`` spec as an mmap-backed operand.
+
+    The optional ``rows`` window slices a zero-copy row block — a
+    served request can address one tile of a matrix that never fits
+    in a worker's memory. Open/format failures surface as
+    :class:`RequestError` so the scheduler records a clean rejection
+    for this execution instead of a worker crash.
+    """
+    from repro.errors import FormatError
+    from repro.formats.external import open_csr_cache
+
+    try:
+        matrix = open_csr_cache(gen_spec["matrix_ref"])
+        rows = gen_spec.get("rows")
+        if rows is not None:
+            matrix = matrix.row_block(int(rows[0]), int(rows[1]))
+    except (OSError, FormatError) as exc:
+        raise RequestError(
+            f"workload.{operand}: matrix_ref "
+            f"{gen_spec['matrix_ref']!r} unusable: {exc}") from None
+    return matrix
 
 
 # -- result / stats codecs ---------------------------------------------------

@@ -1,0 +1,75 @@
+"""Row-tile planning for the out-of-core streaming executor.
+
+The pure planning core, split out the same way
+:func:`repro.cluster.runtime.plan_tiles` is for the TCDM level: both
+backends (and the tests) derive the identical tile schedule from the
+row-pointer array alone, so planning never touches the nonzero payload
+of an mmap-backed matrix.
+
+Budget semantics (the **double-buffering contract**): a tile must fit
+half the main-memory budget, because steady state holds two tiles —
+the one being computed and the one being prefetched. A single row
+whose payload exceeds the half-budget cannot be split (row-block
+tiling preserves per-row accumulation order) and raises
+:class:`~repro.errors.ConfigError`.
+"""
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+#: Bytes per nonzero in a streamed tile: 8 (value) + 8 (column index).
+NNZ_BYTES = 16
+#: Bytes per row of streamed row-pointer bookkeeping.
+ROW_BYTES = 8
+
+
+def tile_bytes(ptr, r0, r1):
+    """Streamed bytes of rows ``[r0, r1)``: payload + rebased pointers."""
+    nnz = int(ptr[r1]) - int(ptr[r0])
+    return nnz * NNZ_BYTES + (r1 - r0 + 1) * ROW_BYTES
+
+
+def plan_row_tiles(ptr, nrows, budget_bytes, tile_rows=None):
+    """Split ``nrows`` rows into ``(r0, r1)`` tiles for streaming.
+
+    With ``tile_rows`` the split is fixed-height (degenerate values are
+    legal: ``1`` streams row-at-a-time, ``>= nrows`` is the
+    whole-matrix "tile" of the resident differential tests). Otherwise
+    rows are packed greedily so each tile's :func:`tile_bytes` fits
+    half of ``budget_bytes`` (see the module docstring). The tiles
+    partition ``[0, nrows)`` exactly, in order.
+    """
+    if nrows < 0:
+        raise ConfigError(f"negative row count {nrows}")
+    if tile_rows is not None:
+        if tile_rows < 1:
+            raise ConfigError(f"tile_rows must be >= 1, got {tile_rows}")
+        bounds = list(range(0, nrows, int(tile_rows))) + [nrows]
+        return [(bounds[i], bounds[i + 1]) for i in range(len(bounds) - 1)]
+    if budget_bytes is None or budget_bytes < 2 * (NNZ_BYTES + 2 * ROW_BYTES):
+        raise ConfigError(
+            f"main-memory budget {budget_bytes!r} bytes cannot hold two "
+            "single-nonzero tiles — raise the budget")
+    half = budget_bytes // 2
+    # Greedy packing via searchsorted over the cumulative byte cost:
+    # O(tiles * log nrows) ptr lookups, no payload touched.
+    ptr = np.asarray(ptr)
+    cost = ptr * NNZ_BYTES + np.arange(nrows + 1, dtype=np.int64) * ROW_BYTES
+    tiles = []
+    r0 = 0
+    while r0 < nrows:
+        # largest r1 with cost[r1] - cost[r0] + ROW_BYTES <= half
+        limit = cost[r0] + half - ROW_BYTES
+        r1 = int(np.searchsorted(cost, limit, side="right")) - 1
+        r1 = min(max(r1, r0 + 1), nrows)
+        # cost is strictly increasing, so searchsorted is exact; only a
+        # forced single-row tile can still overflow the half-budget
+        if tile_bytes(ptr, r0, r1) > half:
+            raise ConfigError(
+                f"row {r0} alone needs {tile_bytes(ptr, r0, r1)} bytes "
+                f"but the double-buffered half-budget is {half} — "
+                "raise the budget; a row cannot be split")
+        tiles.append((r0, r1))
+        r0 = r1
+    return tiles

@@ -186,3 +186,93 @@ class TestRoundTripProperty:
             path = os.path.join(tmp, "m.mtx")
             write_matrix_market(matrix, path)
             assert read_matrix_market(path) == matrix
+
+
+class TestSymmetricExpansionRegression:
+    """Satellite (ISSUE 8): pin the symmetric-expansion mirror.
+
+    The previous ``_expand_symmetry`` rebound ``rows`` mid-expression
+    and recovered the original values only through a fragile
+    ``rows[: len(vals)]`` re-slice of the *rebound* array; these
+    known-matrix cases fail loudly if any refactor breaks the mirror.
+    """
+
+    def test_symmetric_3x3_full_mirror(self):
+        m = read_matrix_market(lines("""
+%%MatrixMarket matrix coordinate real symmetric
+3 3 4
+1 1 2.0
+2 1 -1.0
+3 1 4.0
+3 2 0.5
+"""))
+        expect = np.array([[2.0, -1.0, 4.0],
+                           [-1.0, 0.0, 0.5],
+                           [4.0, 0.5, 0.0]])
+        assert np.array_equal(m.to_dense(), expect)
+        assert m.nnz == 7  # 4 stored + 3 mirrored off-diagonals
+
+    def test_symmetric_4x4_with_full_diagonal(self):
+        m = read_matrix_market(lines("""
+%%MatrixMarket matrix coordinate real symmetric
+4 4 6
+1 1 1.0
+2 2 2.0
+3 3 3.0
+4 4 4.0
+3 1 9.0
+4 2 -7.0
+"""))
+        d = m.to_dense()
+        assert np.array_equal(d, d.T)
+        assert np.array_equal(np.diag(d), [1.0, 2.0, 3.0, 4.0])
+        assert d[2, 0] == 9.0 and d[0, 2] == 9.0
+        assert d[3, 1] == -7.0 and d[1, 3] == -7.0
+        assert m.nnz == 8  # diagonal entries must not be duplicated
+
+    def test_both_triangles_reach_csr_storage(self):
+        """The mirror must land in the CSR arrays, not just to_dense."""
+        m = read_matrix_market(lines("""
+%%MatrixMarket matrix coordinate real symmetric
+3 3 2
+2 1 5.0
+3 1 6.0
+"""))
+        # row 0 holds the mirrored upper triangle (cols 1 and 2)
+        assert list(m.ptr) == [0, 2, 3, 4]
+        assert list(m.idcs) == [1, 2, 0, 0]
+        assert list(m.vals) == [5.0, 6.0, 5.0, 6.0]
+
+    def test_pattern_symmetric_mirrors_ones(self):
+        m = read_matrix_market(lines("""
+%%MatrixMarket matrix coordinate pattern symmetric
+3 3 2
+2 1
+3 3
+"""))
+        expect = np.array([[0.0, 1.0, 0.0],
+                           [1.0, 0.0, 0.0],
+                           [0.0, 0.0, 1.0]])
+        assert np.array_equal(m.to_dense(), expect)
+
+    def test_skew_symmetric_negates_mirror(self):
+        m = read_matrix_market(lines("""
+%%MatrixMarket matrix coordinate real skew-symmetric
+3 3 2
+2 1 1.5
+3 2 -2.0
+"""))
+        d = m.to_dense()
+        assert np.array_equal(d, -d.T)
+        assert d[1, 0] == 1.5 and d[0, 1] == -1.5
+        assert d[2, 1] == -2.0 and d[1, 2] == 2.0
+
+    def test_integer_symmetric(self):
+        m = read_matrix_market(lines("""
+%%MatrixMarket matrix coordinate integer symmetric
+2 2 2
+1 1 3
+2 1 -4
+"""))
+        assert np.array_equal(m.to_dense(),
+                              np.array([[3.0, -4.0], [-4.0, 0.0]]))
