@@ -155,7 +155,19 @@ def test_write_json_and_check_regression():
         "fastpath_hits": stats["cache"]["fastpath_hits"],
         "submitted": stats["scheduler"]["submitted"],
         "respawns": stats["pool"]["respawns"],
+        # Server-side view (queued time + end-to-end per path), from
+        # the service's own telemetry histograms — complements the
+        # client-side latencies measured above.
+        "latency": stats["latency"],
     }
+    lat = stats["latency"]
+    print("server-side latency (ms): "
+          f"queued p50 {lat['queued']['p50_ms']} "
+          f"p99 {lat['queued']['p99_ms']}; "
+          f"computed p50 {lat['request_computed']['p50_ms']} "
+          f"p99 {lat['request_computed']['p99_ms']}; "
+          f"cached p50 {lat['request_cached']['p50_ms']} "
+          f"p99 {lat['request_cached']['p99_ms']}")
     if _service is not None:
         _service.stop()
         _service = None

@@ -33,6 +33,7 @@ import warnings
 
 from repro.api.registry import KERNELS, get_kernel
 from repro.errors import UnsupportedKernelError
+from repro.telemetry import metrics as _metrics
 
 #: (backend class name, kernel) pairs that already warned — the legacy
 #: shims emit each DeprecationWarning once, not per call.
@@ -95,7 +96,10 @@ class Backend:
         else:
             kwargs["index_bits"] = index_bits
         kwargs["check"] = check
-        return impl(**kwargs)
+        out = impl(**kwargs)
+        if _metrics.ENABLED:
+            _metrics.record_kernel_run(spec.name, self.name, out[0])
+        return out
 
     def supports(self, kernel):
         """True when this backend implements ``kernel``."""

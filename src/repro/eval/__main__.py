@@ -18,6 +18,7 @@ additionally writes its strong+weak dataset to ``scaling.json``
 """
 
 import argparse
+import contextlib
 import json
 import sys
 import time
@@ -143,6 +144,19 @@ def main(argv=None):
     parser.add_argument("--profile-out", default="profile.json",
                         metavar="FILE",
                         help="where --profile writes its JSON breakdown")
+    parser.add_argument("--metrics-out", default=None, metavar="FILE",
+                        help="enable telemetry and write the metrics "
+                             "registry snapshot (engine/DMA/stream/kernel "
+                             "counters, utilization gauges) as JSON. "
+                             "Like --profile this is per-process: with "
+                             "--parallel only parent-side work (caches) "
+                             "is counted")
+    parser.add_argument("--trace-out", default=None, metavar="FILE",
+                        help="enable telemetry and write a Chrome-trace "
+                             "JSON timeline (load in Perfetto / "
+                             "chrome://tracing): engine run/sleep spans, "
+                             "DMA transfers, streaming-pass lanes. "
+                             "Per-process, as with --metrics-out")
     parser.add_argument("--list-experiments", action="store_true",
                         help="print the experiment registry and exit "
                              "(with --json: machine-readable — id, name, "
@@ -188,19 +202,27 @@ def main(argv=None):
     if set(ids) == set(EXPERIMENTS):
         results = run_all(quick=quick, backend=args.backend, runner=runner,
                           variant=args.variant, clusters=args.clusters,
-                          mainmem_budget=args.mainmem_budget)
+                          mainmem_budget=args.mainmem_budget,
+                          metrics_out=args.metrics_out,
+                          trace_out=args.trace_out)
         times = {}
     else:
         results = {}
         times = {}
-        for eid in ids:
-            te = time.time()
-            results[eid] = run_experiment(eid, quick=quick,
-                                          backend=args.backend, runner=runner,
-                                          variant=args.variant,
-                                          clusters=args.clusters,
-                                          mainmem_budget=args.mainmem_budget)
-            times[eid] = time.time() - te
+        from repro import telemetry
+
+        with telemetry.session(metrics_out=args.metrics_out,
+                               trace_out=args.trace_out,
+                               tracing=args.trace_out is not None) \
+                if (args.metrics_out or args.trace_out) \
+                else contextlib.nullcontext():
+            for eid in ids:
+                te = time.time()
+                results[eid] = run_experiment(
+                    eid, quick=quick, backend=args.backend, runner=runner,
+                    variant=args.variant, clusters=args.clusters,
+                    mainmem_budget=args.mainmem_budget)
+                times[eid] = time.time() - te
     for eid in ids:
         print(results[eid].render())
         if eid in times:

@@ -172,6 +172,10 @@ class PointCache:
         #: stats endpoint).
         self.hits = 0
         self.misses = 0
+        from repro.telemetry import metrics as _metrics
+
+        if _metrics.ENABLED:
+            _metrics.DEFAULT.track("point_cache", self)
 
     def path(self, key):
         """Filesystem path holding ``key``'s entry (existing or not)."""

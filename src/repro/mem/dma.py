@@ -17,6 +17,7 @@ from collections import deque
 
 from repro.errors import ConfigError
 from repro.sim.engine import IDLE
+from repro.telemetry import metrics as _metrics
 
 #: Words moved per cycle per direction (512 bits / 64-bit words).
 BEAT_WORDS = 8
@@ -84,7 +85,7 @@ class DmaTransfer:
 
     __slots__ = ("direction", "src", "dst", "row_words", "rows",
                  "src_stride", "dst_stride", "on_done", "done",
-                 "_row", "_word")
+                 "_row", "_word", "_t_start")
 
     def __init__(self, direction, src, dst, row_words, rows=1,
                  src_stride=None, dst_stride=None, on_done=None):
@@ -105,6 +106,7 @@ class DmaTransfer:
         self.done = False
         self._row = 0
         self._word = 0
+        self._t_start = None  # submit cycle, recorded only when tracing
 
     @property
     def total_words(self):
@@ -146,6 +148,8 @@ class Dma:
 
     def submit(self, transfer):
         """Queue a :class:`DmaTransfer`; returns it for completion polling."""
+        if self.engine._tracer is not None:
+            transfer._t_start = self.engine.cycle
         self._queues[transfer.direction].append(transfer)
         self.engine.wake(self)
         return transfer
@@ -237,5 +241,10 @@ class Dma:
         self._beat[direction] = None
         if xfer.done:
             self._queues[direction].popleft()
+            tracer = self.engine._tracer
+            if tracer is not None and xfer._t_start is not None:
+                tracer.dma_transfer(self, xfer, xfer._t_start)
+            if _metrics.ENABLED:
+                _metrics.absorb_dma_transfer(self, xfer)
             if xfer.on_done is not None:
                 xfer.on_done(xfer)

@@ -18,6 +18,7 @@ pool was built with ``allow_fault_injection=True``.
 
 import multiprocessing
 import os
+import time
 
 from repro.serve import protocol
 
@@ -46,11 +47,16 @@ def _warm_backends(backend_names):
 def execute_job(backends, job):
     """Run one job dict on a warm backend; returns the result payload.
 
-    The payload is ``(stats_dict, result, digest, profile_or_None)``
-    — picklable, so it crosses the worker pipe; the service encodes it
-    for socket clients and stores it in the point cache.
+    The payload is ``(stats_dict, result, digest, profile_or_None,
+    spans_or_None)`` — picklable, so it crosses the worker pipe; the
+    service encodes it for socket clients and stores it in the point
+    cache. ``spans`` is a list of raw Chrome-trace events (only when
+    the job carries ``trace: True``): the worker-side execute span,
+    stamped with the request's ``trace_id`` so the service can merge
+    it into the request timeline across the fork boundary.
     """
     request = job["request"]
+    trace_t0 = time.time() if job.get("trace") else None
     operands = protocol.build_operands(request)
     backend = backends.get(request["backend"])
     if backend is None:
@@ -79,7 +85,18 @@ def execute_job(backends, job):
             **operands)
     kind = protocol.result_kind(request["kernel"])
     digest = protocol.result_digest(kind, result)
-    return (protocol.stats_dict(stats), result, digest, profile)
+    spans = None
+    if trace_t0 is not None:
+        spans = [{
+            "ph": "X", "cat": "serve.worker",
+            "name": f"execute {request['kernel']}",
+            "ts": int(trace_t0 * 1e6),
+            "dur": max(int((time.time() - trace_t0) * 1e6), 1),
+            "args": {"trace_id": job.get("trace_id"),
+                     "backend": request["backend"],
+                     "worker_pid": os.getpid()},
+        }]
+    return (protocol.stats_dict(stats), result, digest, profile, spans)
 
 
 def _worker_main(conn, backend_names, allow_fault_injection):

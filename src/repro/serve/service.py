@@ -42,6 +42,24 @@ from repro.eval.parallel import PointCache
 from repro.serve import protocol
 from repro.serve.pool import WorkerPool
 from repro.serve.scheduler import Scheduler, TenantQuota
+from repro.telemetry import metrics as telemetry_metrics
+from repro.telemetry import trace as telemetry_trace
+
+
+def _wall_us():
+    """Wall-clock epoch microseconds (serve-span timestamp base)."""
+    return int(time.time() * 1e6)
+
+
+def _ms(value):
+    """Seconds -> milliseconds, passing None through."""
+    return None if value is None else value * 1000.0
+
+
+def _ms_summary(summary):
+    """A histogram summary (seconds) rendered in milliseconds."""
+    return {"count": summary["count"], "p50_ms": _ms(summary["p50"]),
+            "p99_ms": _ms(summary["p99"]), "max_ms": _ms(summary["max"])}
 
 
 @dataclasses.dataclass
@@ -95,6 +113,28 @@ class Service:
         self._started_at = None
         #: Responses served straight from the point cache (no ticket).
         self.cache_fastpath_hits = 0
+        #: Service-scoped, always-enabled registry: request-latency
+        #: histograms and serve gauges exist regardless of the global
+        #: telemetry switch (they feed :meth:`stats` and bench_serve).
+        self.telemetry = telemetry_metrics.MetricsRegistry(enabled=True)
+        self._h_queued = self.telemetry.histogram(
+            "repro_serve_queued_seconds",
+            "Ticket wait from admission to worker dispatch",
+            unit="seconds")
+        self._h_request = self.telemetry.histogram(
+            "repro_serve_request_seconds",
+            "End-to-end request latency, submit to resolve "
+            "(path=cached|computed|error)", unit="seconds")
+        self._h_batch = self.telemetry.histogram(
+            "repro_serve_batch_size", "Tickets per dispatched batch",
+            buckets=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0))
+        # bound series for the hot paths: label keys resolved once
+        self._ob_queued = self._h_queued.bind()
+        self._ob_batch = self._h_batch.bind()
+        self._ob_request = {path: self._h_request.bind(path=path)
+                            for path in ("cached", "computed", "error")}
+        self.telemetry.collect(self._collect_serve)
+        self._trace_ids = {}  # ticket id -> trace id (tracing only)
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -133,6 +173,7 @@ class Service:
             if not future.done():
                 future.set_exception(ServeError("service stopped"))
         self._futures.clear()
+        self._trace_ids.clear()
         await self._loop.run_in_executor(None, self.pool.stop)
 
     # -- request path ------------------------------------------------------
@@ -161,6 +202,7 @@ class Service:
         queued). Raises :class:`RequestError`/:class:`QuotaError`
         synchronously for malformed or quota-rejected requests.
         """
+        t0 = self.clock()
         request = protocol.validate_request(payload)
         if request["inject"] and not self.config.allow_fault_injection:
             raise RequestError(
@@ -169,6 +211,17 @@ class Service:
         if request["timeout"] is None:
             request["timeout"] = self.config.default_timeout
         key = protocol.request_key(request)
+        rec = telemetry_trace.recorder()
+        trace_id = None
+        if rec is not None:
+            trace_id = rec.new_trace_id()
+            pid = rec.process("serve")
+            tid = rec.thread(pid, "requests")
+            rec.async_begin(pid, tid, "serve", "request", trace_id,
+                            _wall_us(),
+                            args={"kernel": request["kernel"],
+                                  "tenant": request["tenant"],
+                                  "backend": request["backend"]})
 
         future = self._loop.create_future()
         if not request["profile"]:
@@ -181,10 +234,22 @@ class Service:
                     None, stats, result, digest, cached=True,
                     coalesced=False, attempts=0,
                     kernel=request["kernel"]))
+                self._ob_request["cached"].observe(self.clock() - t0)
+                if rec is not None:
+                    rec.async_end(pid, tid, "serve", "request", trace_id,
+                                  _wall_us(), args={"path": "cached"})
                 return None, future
             self.cache.misses += 1
 
-        ticket = self.scheduler.submit(request, key)  # may raise QuotaError
+        try:
+            ticket = self.scheduler.submit(request, key)  # may raise
+        except ReproError:
+            if rec is not None:
+                rec.async_end(pid, tid, "serve", "request", trace_id,
+                              _wall_us(), args={"path": "rejected"})
+            raise
+        if trace_id is not None:
+            self._trace_ids[ticket.id] = trace_id
         self._futures[ticket.id] = future
         if ticket.primary is None:
             self._keyparams[ticket.id] = protocol.cache_params(request)
@@ -210,14 +275,27 @@ class Service:
 
     # -- internal loops ----------------------------------------------------
 
+    def _finish_ticket(self, ticket, path):
+        """Latency observation + trace-span close for one settled ticket."""
+        self._ob_request[path].observe(self.clock() - ticket.submitted_at)
+        trace_id = self._trace_ids.pop(ticket.id, None)
+        rec = telemetry_trace.recorder()
+        if rec is not None and trace_id is not None:
+            pid = rec.process("serve")
+            tid = rec.thread(pid, "requests")
+            rec.async_end(pid, tid, "serve", "request", trace_id,
+                          _wall_us(), args={"path": path})
+
     def _resolve_error(self, ticket, exc):
         self._keyparams.pop(ticket.id, None)
+        self._finish_ticket(ticket, "error")
         future = self._futures.pop(ticket.id, None)
         if future is not None and not future.done():
             future.set_exception(exc)
 
     def _resolve_ok(self, ticket, response):
         self._keyparams.pop(ticket.id, None)
+        self._finish_ticket(ticket, "computed")
         future = self._futures.pop(ticket.id, None)
         if future is not None and not future.done():
             future.set_result(response)
@@ -234,8 +312,25 @@ class Service:
                 if not batch:
                     break  # every queued tenant is at its inflight cap
                 worker = idle[0]
-                jobs = [{"request": t.request, "inject": t.request["inject"]}
+                now = self.clock()
+                self._ob_batch.observe(len(batch))
+                for t in batch:
+                    self._ob_queued.observe(now - t.submitted_at)
+                rec = telemetry_trace.recorder()
+                jobs = [{"request": t.request, "inject": t.request["inject"],
+                         "trace": rec is not None,
+                         "trace_id": self._trace_ids.get(t.id)}
                         for t in batch]
+                if rec is not None:
+                    pid = rec.process("serve")
+                    tid = rec.thread(pid, "requests")
+                    for t in batch:
+                        rec.instant(pid, tid, "serve", "dispatch",
+                                    _wall_us(),
+                                    args={"trace_id":
+                                          self._trace_ids.get(t.id),
+                                          "worker": worker.index,
+                                          "batch": len(batch)})
                 try:
                     self.pool.send_batch(worker, jobs)
                 except (BrokenPipeError, OSError):
@@ -253,7 +348,13 @@ class Service:
             return
         for ticket, (status, payload) in zip(batch, results):
             if status == "ok":
-                stats, result, digest, profile = payload
+                stats, result, digest, profile, spans = payload
+                if spans:
+                    rec = telemetry_trace.recorder()
+                    if rec is not None:
+                        pid = rec.process("serve")
+                        tid = rec.thread(pid, f"worker{worker.index}")
+                        rec.add_events(spans, pid, tid)
                 params = self._keyparams.get(ticket.id)
                 if not ticket.request["profile"]:
                     self.cache.store(ticket.key, params,
@@ -297,10 +398,33 @@ class Service:
                     f"{ticket.request['timeout']}s deadline"))
             self.scheduler.forget_terminal()
 
-    # -- stats -------------------------------------------------------------
+    # -- stats + metrics ---------------------------------------------------
+
+    def _collect_serve(self, registry):
+        """Snapshot-time collector: serve counters into the registry."""
+        queued, running = self.scheduler.depth()
+        gauge = registry.gauge
+        gauge("repro_serve_queue_depth",
+              "Tickets currently queued").set(queued)
+        gauge("repro_serve_running",
+              "Tickets currently dispatched to workers").set(running)
+        counter = registry.counter
+        for name, value in self.scheduler.stats.items():
+            counter(f"repro_serve_{name}_total",
+                    f"Scheduler tickets {name}").set_total(value)
+        counter("repro_serve_cache_hits_total",
+                "Point-cache hits (all paths)").set_total(self.cache.hits)
+        counter("repro_serve_cache_misses_total",
+                "Point-cache misses").set_total(self.cache.misses)
+        counter("repro_serve_cache_fastpath_hits_total",
+                "Responses served straight from the cache").set_total(
+                    self.cache_fastpath_hits)
+        counter("repro_serve_worker_respawns_total",
+                "Workers respawned after death").set_total(
+                    self.pool.respawns)
 
     def stats(self):
-        """JSON-able service statistics (scheduler, pool, cache)."""
+        """JSON-able service statistics (scheduler, pool, cache, latency)."""
         return {
             "uptime_s": (self.clock() - self._started_at
                          if self._started_at is not None else 0.0),
@@ -311,7 +435,28 @@ class Service:
                       "fastpath_hits": self.cache_fastpath_hits,
                       "dir": self.cache.cache_dir,
                       "enabled": self.cache.use_cache},
+            "latency": {
+                "queued": _ms_summary(self._h_queued.summary()),
+                "request_cached": _ms_summary(
+                    self._h_request.summary(path="cached")),
+                "request_computed": _ms_summary(
+                    self._h_request.summary(path="computed")),
+            },
         }
+
+    def metrics(self):
+        """The merged telemetry exposition for the ``metrics`` op.
+
+        Merges the process-global registry (engine/DMA/stream/kernel
+        series, live when the global switch is on) with the service's
+        always-on registry, validates the snapshot against the wire
+        schema, and renders the Prometheus text format alongside it.
+        """
+        snapshot = telemetry_metrics.merged_snapshot(
+            telemetry_metrics.DEFAULT, self.telemetry)
+        telemetry_metrics.validate_snapshot(snapshot)
+        return {"snapshot": snapshot,
+                "prometheus": telemetry_metrics.prometheus_text(snapshot)}
 
     # -- socket endpoint ---------------------------------------------------
 
@@ -373,6 +518,8 @@ class Service:
                                 "ok": cancelled})
                 elif op == "stats":
                     await send({"op": "stats", **self.stats()})
+                elif op == "metrics":
+                    await send({"op": "metrics", **self.metrics()})
                 elif op == "ping":
                     await send({"op": "pong"})
                 else:
@@ -460,6 +607,14 @@ class ServiceThread:
         return asyncio.run_coroutine_threadsafe(
             get(), self._loop).result(wait_timeout)
 
+    def metrics(self, wait_timeout=10):
+        """The service's merged telemetry exposition (see Service.metrics)."""
+        async def get():
+            return self.service.metrics()
+
+        return asyncio.run_coroutine_threadsafe(
+            get(), self._loop).result(wait_timeout)
+
     def stop(self, timeout=30):
         """Stop the service and tear the loop thread down."""
         if self.service is not None:
@@ -541,6 +696,11 @@ class SocketClient:
         """The server's stats dict."""
         self._send({"op": "stats"})
         return self._read_until(want_op="stats")
+
+    def metrics(self):
+        """The server's telemetry snapshot + Prometheus exposition."""
+        self._send({"op": "metrics"})
+        return self._read_until(want_op="metrics")
 
     def ping(self):
         """Liveness probe."""

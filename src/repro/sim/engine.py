@@ -61,6 +61,7 @@ import os
 
 from repro.errors import ConfigError, DeadlockError
 from repro.sim import profile as _profile
+from repro.telemetry import trace as _trace
 
 #: Engine modes.
 EVENT = "event"
@@ -155,6 +156,7 @@ class Engine:
         self._next_index = 0
         self._front_index = 0
         self._profile = _profile.attach(self)
+        self._tracer = _trace.attach_engine(self)
         # Bind the mode's step loop once; step() stays the public name.
         self.step = self._step_event if mode == EVENT else self._step_dense
 
@@ -168,6 +170,8 @@ class Engine:
         self._n_active += 1
         self._woken_pending.append(component)
         self._owner[id(component)] = component
+        if self._tracer is not None:
+            self._tracer.on_add(component)
 
     def add(self, component):
         """Register a component (ticked in registration order)."""
@@ -206,6 +210,8 @@ class Engine:
             self._woken_pending = [c for c in self._woken_pending
                                    if c is not component]
         self._owner.pop(id(component), None)
+        if self._tracer is not None:
+            self._tracer.on_remove(component)
 
     def own(self, obj, component):
         """Declare that events delivered to ``obj`` wake ``component``.
@@ -259,6 +265,8 @@ class Engine:
                                    (component._q_index, component))
             if self._profile is not None:
                 self._profile.count_wake(component)
+            if self._tracer is not None:
+                self._tracer.on_wake(component)
 
     def _rebuild_active(self):
         """Fold pending wakes into the active list, dropping sleepers.
@@ -353,6 +361,7 @@ class Engine:
         """Advance one cycle, ticking only active components."""
         cycle = self.cycle
         heap = self._wake_heap
+        tracer = self._tracer
         while heap and heap[0][0] <= cycle:
             _c, gen, _seq, comp = heapq.heappop(heap)
             if comp._q_state == _SLEEP_TIMED and comp._q_gen == gen:
@@ -364,6 +373,8 @@ class Engine:
                     self._active_stale -= 1
                 else:
                     self._woken_pending.append(comp)
+                if tracer is not None:
+                    tracer.on_wake(comp)
         events = self._wheel.pop(cycle, None)
         self._no_progress_steps += 1
         if events:
@@ -413,6 +424,8 @@ class Engine:
                     self._active_stale += 1
                     if prof is not None:
                         prof.count_sleep(comp, timed=False)
+                    if tracer is not None:
+                        tracer.on_sleep(comp, timed=False)
                 elif ret > cycle:
                     comp._q_state = _SLEEP_TIMED
                     comp._q_wake = ret
@@ -423,6 +436,8 @@ class Engine:
                     self._active_stale += 1
                     if prof is not None:
                         prof.count_sleep(comp, timed=True)
+                    if tracer is not None:
+                        tracer.on_sleep(comp, timed=True)
                 # ret <= cycle: treated as ACTIVE (defensive)
         if step_wakes:
             self._drain_step_wakes(None, cycle, prof)
@@ -439,6 +454,7 @@ class Engine:
         (None drains everything at the end of the cycle).
         """
         step_wakes = self._step_wakes
+        tracer = self._tracer
         while step_wakes and (up_to_index is None
                               or step_wakes[0][0] < up_to_index):
             comp = heapq.heappop(step_wakes)[1]
@@ -462,6 +478,8 @@ class Engine:
                     self._n_active -= 1
                     if prof is not None:
                         prof.count_sleep(comp, timed=False)
+                    if tracer is not None:
+                        tracer.on_sleep(comp, timed=False)
                 elif ret > cycle:
                     comp._q_state = _SLEEP_TIMED
                     comp._q_wake = ret
@@ -471,6 +489,8 @@ class Engine:
                     self._n_active -= 1
                     if prof is not None:
                         prof.count_sleep(comp, timed=True)
+                    if tracer is not None:
+                        tracer.on_sleep(comp, timed=True)
 
     # -- diagnostics -------------------------------------------------------
 
@@ -558,6 +578,8 @@ class Engine:
                 if target > self.cycle:
                     if profile is not None:
                         profile.count_fast_forward(target - self.cycle)
+                    if self._tracer is not None:
+                        self._tracer.fast_forward(self.cycle, target)
                     self.cycle = target
                     continue  # done() may hold at the jumped-to boundary
             self.step()

@@ -19,6 +19,15 @@ JSON-serializable breakdown.
 The profiler is deliberately sampling-free and exact; its overhead is
 one counter increment per executed tick, and zero when disabled (the
 engine holds ``None``).
+
+As a *general* metrics surface this module is superseded by
+:mod:`repro.telemetry.metrics` — when both are enabled the registry
+folds these totals into ``repro_engine_*`` gauges, and new
+observability consumers should scrape the registry snapshot rather
+than this report. :data:`REPORT_SCHEMA` stays the wire contract for
+the narrow per-component tick breakdown (``--profile-out`` and the
+serve ``profile=True`` path), which the registry deliberately does
+not replicate.
 """
 
 from collections import Counter

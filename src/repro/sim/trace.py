@@ -4,8 +4,13 @@ Wraps a :class:`SnitchCore` (and optionally its FPU subsystem) with
 retire hooks that record ``(cycle, pc, op)`` tuples — the Python
 equivalent of an RTL waveform's commit log. Intended for debugging
 kernels and for teaching: `trace.format()` prints an annotated,
-cycle-stamped listing.
+cycle-stamped listing. Recording stops at ``limit`` entries;
+``dropped`` counts what was truncated (warned once, surfaced by
+``format()``) so a silently-clipped log can't masquerade as the whole
+run.
 """
+
+import warnings
 
 from repro.isa.isa import FP_OPS
 
@@ -17,6 +22,8 @@ class CoreTracer:
         self.core = core
         self.limit = limit
         self.entries = []
+        #: Retires not recorded because ``limit`` was reached.
+        self.dropped = 0
         self._orig_retire = core._retire
         core._retire = self._hooked_retire
 
@@ -26,6 +33,14 @@ class CoreTracer:
             ins = self.core.program.instrs[pc] if pc < len(self.core.program.instrs) else None
             self.entries.append((self.core.engine.cycle, pc,
                                  ins.op if ins else "?"))
+        else:
+            if self.dropped == 0:
+                warnings.warn(
+                    f"CoreTracer hit its limit of {self.limit} entries; "
+                    "further retires are counted in .dropped but not "
+                    "recorded (raise limit= to keep them)",
+                    RuntimeWarning, stacklevel=2)
+            self.dropped += 1
         self._orig_retire(next_pc)
 
     def detach(self):
@@ -33,7 +48,11 @@ class CoreTracer:
         self.core._retire = self._orig_retire
 
     def format(self, first=0, count=None):
-        """A cycle-stamped commit log with stall-gap annotations."""
+        """A cycle-stamped commit log with stall-gap annotations.
+
+        When the tracer hit its limit, the listing ends with a line
+        stating how many retires went unrecorded.
+        """
         entries = self.entries[first:first + count if count else None]
         lines = []
         prev_cycle = None
@@ -44,6 +63,9 @@ class CoreTracer:
             kind = "fp " if op in FP_OPS else "int"
             lines.append(f"{cycle:8d}  pc={pc:4d}  [{kind}] {op}{gap}")
             prev_cycle = cycle
+        if self.dropped:
+            lines.append(f"... {self.dropped} retire(s) dropped after "
+                         f"the {self.limit}-entry limit")
         return "\n".join(lines)
 
     def op_histogram(self):

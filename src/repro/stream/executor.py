@@ -40,6 +40,8 @@ from repro.kernels.common import (
 )
 from repro.mem.dma import IN, OUT, transfer_cycles
 from repro.stream.plan import plan_row_tiles, tile_bytes
+from repro.telemetry import metrics as _metrics
+from repro.telemetry import trace as _trace
 
 __all__ = ["StreamStats", "stream_csrmv", "stream_spvv",
            "stream_power_iteration"]
@@ -167,6 +169,10 @@ def stream_csrmv(matrix, x, *, budget_bytes=None, tile_rows=None,
         if can_release:
             matrix.release_rows(r0, r1)
     _finish_stats(stats, compute, dma, tiles, matrix.ptr)
+    if _metrics.ENABLED:
+        _metrics.absorb_stream_pass(stats, "csrmv")
+    if _trace.active():
+        _trace.stream_pass("csrmv", pass_id, tiles, compute, dma)
     return stats, y
 
 
@@ -238,6 +244,10 @@ def stream_spvv(indices, values, x, *, chunk_nnz=1 << 16, variant="issr",
         stats.peak_resident_bytes = (sizes[0] if len(sizes) == 1 else
                                      max(sizes[i] + sizes[i + 1]
                                          for i in range(len(sizes) - 1)))
+    if _metrics.ENABLED:
+        _metrics.absorb_stream_pass(stats, "spvv")
+    if _trace.active():
+        _trace.stream_pass("spvv", pass_id, chunks, compute, dma)
     return stats, result
 
 

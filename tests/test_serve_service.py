@@ -244,6 +244,19 @@ class TestSocketEndpoint:
             stats = client.stats()
             assert stats["scheduler"]["submitted"] >= 1
 
+    def test_socket_metrics_op(self, socket_serve):
+        from repro.serve import SocketClient
+        from repro.telemetry import validate_snapshot
+
+        with SocketClient(socket_serve.config.socket_path) as client:
+            client.request(csrmv_payload(seed=105, backend="fast"))
+            exported = client.metrics()
+            validate_snapshot(exported["snapshot"])
+            assert "repro_serve_request_seconds" in \
+                exported["snapshot"]["metrics"]
+            assert "repro_serve_request_seconds_bucket" in \
+                exported["prometheus"]
+
     def test_socket_errors_carry_exception_kind(self, socket_serve):
         from repro.serve import SocketClient
 

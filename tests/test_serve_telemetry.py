@@ -1,0 +1,129 @@
+"""Serve-layer telemetry: latency stats, metrics op, trace propagation."""
+
+import pytest
+
+from repro.serve import ServeConfig, ServiceThread
+from repro.telemetry import trace, validate_snapshot
+
+
+@pytest.fixture(scope="module")
+def serve(tmp_path_factory):
+    config = ServeConfig(
+        workers=1,
+        backends=("compiled",),
+        cache_dir=str(tmp_path_factory.mktemp("serve-telemetry-cache")),
+    )
+    thread = ServiceThread(config).start()
+    yield thread
+    thread.stop()
+
+
+def csrmv_payload(seed, **overrides):
+    payload = {
+        "kernel": "csrmv",
+        "backend": "compiled",
+        "workload": {
+            "matrix": {"gen": "random_csr", "nrows": 16, "ncols": 64,
+                       "nnz": 128, "seed": seed},
+            "x": {"gen": "random_dense_vector", "dim": 64,
+                  "seed": seed + 1000},
+        },
+    }
+    payload.update(overrides)
+    return payload
+
+
+class TestLatencyStats:
+    def test_stats_report_queued_and_request_histograms(self, serve):
+        computed = serve.request(csrmv_payload(seed=60))
+        cached = serve.request(csrmv_payload(seed=60))
+        assert computed["cached"] is False and cached["cached"] is True
+
+        latency = serve.stats()["latency"]
+        assert set(latency) == {"queued", "request_cached",
+                                "request_computed"}
+        for section in latency.values():
+            assert set(section) == {"count", "p50_ms", "p99_ms",
+                                    "max_ms"}
+        assert latency["queued"]["count"] >= 1
+        assert latency["request_computed"]["count"] >= 1
+        assert latency["request_cached"]["count"] >= 1
+        computed_ms = latency["request_computed"]
+        assert 0 <= computed_ms["p50_ms"] <= computed_ms["p99_ms"] \
+            <= computed_ms["max_ms"]
+        # the cached fast path answers at submit time — strictly
+        # cheaper than a computed round trip through the pool
+        assert latency["request_cached"]["p50_ms"] \
+            <= computed_ms["max_ms"]
+
+    def test_latencies_exist_without_global_telemetry(self, serve):
+        """The service registry is always on; no enable() needed."""
+        from repro.telemetry import metrics
+
+        assert metrics.ENABLED is False
+        serve.request(csrmv_payload(seed=61))
+        assert serve.stats()["latency"]["queued"]["count"] >= 1
+
+
+class TestMetricsOp:
+    def test_metrics_returns_validated_snapshot_and_prometheus(self, serve):
+        serve.request(csrmv_payload(seed=62))
+        exported = serve.metrics()
+        snapshot = validate_snapshot(exported["snapshot"])
+        names = snapshot["metrics"]
+        assert "repro_serve_request_seconds" in names
+        assert "repro_serve_queued_seconds" in names
+        assert "repro_serve_batch_size" in names
+        assert "repro_serve_queue_depth" in names
+        assert "repro_serve_submitted_total" in names
+        text = exported["prometheus"]
+        assert "# TYPE repro_serve_request_seconds histogram" in text
+        assert "repro_serve_request_seconds_bucket" in text
+        assert 'le="+Inf"' in text
+
+    def test_request_paths_are_labelled(self, serve):
+        serve.request(csrmv_payload(seed=63))
+        serve.request(csrmv_payload(seed=63))  # cached replay
+        snapshot = serve.metrics()["snapshot"]
+        series = snapshot["metrics"]["repro_serve_request_seconds"][
+            "series"]
+        paths = {entry["labels"]["path"] for entry in series}
+        assert {"cached", "computed"} <= paths
+
+
+class TestTracePropagation:
+    def test_request_spans_cross_the_fork_boundary(self, serve):
+        rec = trace.start()
+        try:
+            serve.request(csrmv_payload(seed=64))
+            serve.request(csrmv_payload(seed=64))  # cached
+        finally:
+            trace.stop()
+
+        begins = [ev for ev in rec.events if ev["ph"] == "b"]
+        ends = [ev for ev in rec.events if ev["ph"] == "e"]
+        assert len(begins) == 2 and len(ends) == 2
+        assert {ev["id"] for ev in begins} == {ev["id"] for ev in ends}
+        by_path = {ev["args"]["path"]: ev["id"] for ev in ends}
+        assert set(by_path) == {"computed", "cached"}
+
+        # the worker-side execute span came home with the same trace id
+        worker_spans = [ev for ev in rec.events
+                        if ev.get("cat") == "serve.worker"]
+        assert len(worker_spans) == 1
+        span = worker_spans[0]
+        assert span["args"]["trace_id"] == by_path["computed"]
+        assert span["name"] == "execute csrmv"
+        assert span["args"]["worker_pid"] > 0
+        assert span["dur"] >= 1
+
+        # dispatch instants land on the requests lane
+        instants = [ev for ev in rec.events if ev["ph"] == "i"]
+        assert any(ev["args"]["trace_id"] == by_path["computed"]
+                   for ev in instants)
+
+    def test_no_spans_recorded_when_tracing_off(self, serve):
+        assert trace.recorder() is None
+        before = serve.stats()["scheduler"]["submitted"]
+        serve.request(csrmv_payload(seed=65))
+        assert serve.stats()["scheduler"]["submitted"] == before + 1

@@ -1,5 +1,9 @@
 """Tests for the instruction tracer."""
 
+import warnings
+
+import pytest
+
 from repro.isa import ProgramBuilder
 from repro.sim import SingleCC
 from repro.sim.trace import CoreTracer
@@ -53,6 +57,54 @@ def test_cycles_per_iteration_base_loop():
     loop_pc = prog.labels["loop"]
     deltas = tracer.cycles_per_iteration(loop_pc)
     assert deltas and all(d == 9 for d in deltas)
+
+
+def _count_down(iterations):
+    b = ProgramBuilder()
+    b.li("t0", iterations)
+    b.label("loop")
+    b.addi("t0", "t0", -1)
+    b.bnez("t0", "loop")
+    b.halt()
+    return b.build()
+
+
+def test_limit_counts_drops_and_warns_once():
+    sim = SingleCC()
+    tracer = CoreTracer(sim.cc.core, limit=4)
+    with pytest.warns(RuntimeWarning, match="limit of 4"):
+        sim.run(_count_down(5))
+    assert len(tracer.entries) == 4
+    # li + 5x(addi, bne) + halt = 12 retires, 4 recorded
+    assert tracer.dropped == 8
+
+    # the warning fires only on the first drop
+    sim2 = SingleCC()
+    CoreTracer(sim2.cc.core, limit=4)
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        sim2.run(_count_down(5))
+    assert sum(issubclass(w.category, RuntimeWarning)
+               for w in caught) == 1
+
+
+def test_format_surfaces_dropped_count():
+    sim = SingleCC()
+    tracer = CoreTracer(sim.cc.core, limit=3)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        sim.run(_count_down(4))
+    text = tracer.format()
+    assert text.endswith("retire(s) dropped after the 3-entry limit")
+    assert str(tracer.dropped) in text.splitlines()[-1]
+
+
+def test_no_drop_line_under_limit():
+    sim = SingleCC()
+    tracer = CoreTracer(sim.cc.core)
+    sim.run(_count_down(2))
+    assert tracer.dropped == 0
+    assert "dropped" not in tracer.format()
 
 
 def test_detach_stops_recording():
