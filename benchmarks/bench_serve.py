@@ -4,17 +4,20 @@ A closed-loop load generator (client threads against one
 :class:`~repro.serve.ServiceThread`) drives two phases over the E2
 CsrMV point family on the compiled backend:
 
-- **cold**: every request is a distinct workload (all cache misses),
-  so each one crosses the scheduler, a warm worker, and the result
-  pipe. The requirement is >= 20 req/s with p99 latency < 250 ms,
-  every response bit-identical to a direct ``repro.api.run``;
+- **cold**: every request is a distinct point (all cache misses)
+  carrying pre-built operand arrays, so each one crosses the
+  scheduler, the shared-memory data plane, a warm worker, and the
+  result segment. The requirement is >= 280 req/s with p99 latency
+  < 250 ms, every response bit-identical to a direct
+  ``repro.api.run`` — and the worker pipes must carry only
+  descriptor-sized control frames (the zero-copy contract);
 - **cached**: the same requests replayed; the point cache answers at
   submit time with no ticket. The requirement is >= 200 req/s and a
   100% hit rate.
 
 The run writes ``BENCH_serve.json`` (req/s, p50/p99 latency, cache
-hit rate, git describe) and the final check fails when throughput
-regresses more than 20% against the committed
+hit rate, pipe bytes per request, git describe) and the final check
+fails when throughput regresses more than 20% against the committed
 ``benchmarks/BENCH_serve_baseline.json``.
 """
 
@@ -36,10 +39,15 @@ from repro.workloads import random_csr, random_dense_vector
 NROWS, NCOLS, NNZ = 96, 2048, 96 * 128
 
 #: Cold-phase request count and client thread count.
-COLD_REQUESTS = 40
-CLIENTS = 8
+COLD_REQUESTS = 240
+CLIENTS = 32
 #: Cached-phase replay factor (each cold request re-asked this often).
-REPLAYS = 3
+REPLAYS = 2
+
+#: Ceiling on control-plane bytes per request. The operand arrays of
+#: one request are ~230 KiB; descriptors are a few hundred bytes, so
+#: any accidental re-pickling of arrays blows through this instantly.
+PIPE_BYTES_PER_REQUEST_MAX = 4096
 
 BASELINE_PATH = os.path.join(os.path.dirname(__file__),
                              "BENCH_serve_baseline.json")
@@ -49,24 +57,30 @@ RESULTS = {}
 
 _service = None
 _tmpdir = None
+_matrix = None
+_vectors = None
 
 
-def _payload(seed):
-    return {
-        "kernel": "csrmv", "backend": "compiled",
-        "workload": {
-            "matrix": {"gen": "random_csr", "nrows": NROWS,
-                       "ncols": NCOLS, "nnz": NNZ, "seed": seed},
-            "x": {"gen": "random_dense_vector", "dim": NCOLS,
-                  "seed": seed + 9000},
-        }}
+def _operands():
+    """One shared E2 matrix + a distinct x vector per cold request."""
+    global _matrix, _vectors
+    if _matrix is None:
+        _matrix = random_csr(NROWS, NCOLS, NNZ, seed=0)
+        _vectors = [random_dense_vector(NCOLS, seed=i)
+                    for i in range(COLD_REQUESTS)]
+    return _matrix, _vectors
 
 
-def _direct_digest(seed):
-    matrix = random_csr(NROWS, NCOLS, NNZ, seed=seed)
-    x = random_dense_vector(NCOLS, seed=seed + 9000)
+def _payload(index):
+    matrix, vectors = _operands()
+    return {"kernel": "csrmv", "backend": "compiled",
+            "operands": {"matrix": matrix, "x": vectors[index]}}
+
+
+def _direct_digest(index):
+    matrix, vectors = _operands()
     _stats, y = api.run("csrmv", backend="compiled", variant="issr",
-                        matrix=matrix, x=x)
+                        matrix=matrix, x=vectors[index])
     return result_digest("vector", np.asarray(y))
 
 
@@ -75,7 +89,9 @@ def _service_thread():
     if _service is None:
         _tmpdir = tempfile.TemporaryDirectory(prefix="bench-serve-")
         config = ServeConfig(workers=2, backends=("compiled",),
-                             cache_dir=_tmpdir.name)
+                             cache_dir=_tmpdir.name,
+                             kernel_cache_dir=os.path.join(
+                                 _tmpdir.name, "kernels"))
         _service = ServiceThread(config).start()
     return _service
 
@@ -108,28 +124,52 @@ def _drive(payloads):
 
 
 def test_cold_phase_throughput_latency_and_bit_identity():
-    """Distinct workloads: scheduler + warm pool end to end."""
-    payloads = [_payload(seed) for seed in range(COLD_REQUESTS)]
+    """Distinct operand sets: scheduler + shm plane + warm pool."""
+    # one warm-up round trip (template lowering, pipe setup) before
+    # the clock starts — production services are never one request old
+    _service_thread().request(
+        {"kernel": "csrmv", "backend": "compiled",
+         "operands": {"matrix": _operands()[0],
+                      "x": random_dense_vector(NCOLS, seed=10_000)}})
+    payloads = [_payload(i) for i in range(COLD_REQUESTS)]
     measured, responses = _drive(payloads)
 
     assert all(r["ok"] and not r["cached"] for r in responses)
-    for seed in (0, 7, COLD_REQUESTS - 1):  # oracle spot checks
-        assert responses[seed]["digest"] == _direct_digest(seed), \
-            f"served result for seed {seed} != direct repro.api.run"
+    for index in (0, 7, COLD_REQUESTS - 1):  # oracle spot checks
+        assert responses[index]["digest"] == _direct_digest(index), \
+            f"served result for x[{index}] != direct repro.api.run"
+
+    stats = _service_thread().stats()
+    operand_bytes = sum(a.nbytes for a in (
+        _operands()[0].ptr, _operands()[0].idcs, _operands()[0].vals,
+        _operands()[1][0]))
+    measured["pipe_bytes_per_request"] = round(
+        stats["pool"]["pipe_bytes"]["out"] / stats["scheduler"]["submitted"],
+        1)
+    measured["operand_bytes_per_request"] = operand_bytes
+    measured["shm_bytes_total"] = stats["shm"]["bytes"]
 
     RESULTS["cold"] = measured
     print(f"cold: {measured['rps']} req/s, p50 {measured['p50_ms']}ms, "
-          f"p99 {measured['p99_ms']}ms over {measured['requests']} reqs")
-    assert measured["rps"] >= 20.0, \
+          f"p99 {measured['p99_ms']}ms over {measured['requests']} reqs; "
+          f"{measured['pipe_bytes_per_request']} pipe B/req vs "
+          f"{operand_bytes} operand B/req")
+    assert measured["rps"] >= 280.0, \
         f"cold compiled CsrMV sustained only {measured['rps']} req/s"
     assert measured["p99_ms"] < 250.0, \
         f"cold p99 {measured['p99_ms']}ms breaches the 250ms budget"
+    # the zero-copy contract: arrays ride segments, pipes ride
+    # descriptors — a pickled-operand regression fails here
+    assert measured["pipe_bytes_per_request"] < PIPE_BYTES_PER_REQUEST_MAX, \
+        (f"{measured['pipe_bytes_per_request']} pipe bytes/request — "
+         f"operand arrays are back on the pipes")
+    assert stats["shm"]["live"] == 0, "leaked operand segments"
 
 
 def test_cached_phase_throughput_and_hit_rate():
     """The same requests replayed: answered from the point cache."""
-    payloads = [_payload(seed % COLD_REQUESTS)
-                for seed in range(COLD_REQUESTS * REPLAYS)]
+    payloads = [_payload(i % COLD_REQUESTS)
+                for i in range(COLD_REQUESTS * REPLAYS)]
     measured, responses = _drive(payloads)
 
     hits = sum(1 for r in responses if r["cached"])
@@ -155,6 +195,9 @@ def test_write_json_and_check_regression():
         "fastpath_hits": stats["cache"]["fastpath_hits"],
         "submitted": stats["scheduler"]["submitted"],
         "respawns": stats["pool"]["respawns"],
+        "retried_batches": stats["pool"]["retried_batches"],
+        "pipe_bytes": stats["pool"]["pipe_bytes"],
+        "shm": stats["shm"],
         # Server-side view (queued time + end-to-end per path), from
         # the service's own telemetry histograms — complements the
         # client-side latencies measured above.

@@ -23,6 +23,7 @@ once per process. Programs whose structure matches no template raise
 executes programs it can prove it understands.
 """
 
+from repro.compiler import diskcache
 from repro.compiler.decode import DecodedProgram, decode_program
 from repro.compiler.structure import ProgramStructure, recover_structure
 from repro.compiler.templates import CompiledKernel, lower
@@ -34,6 +35,7 @@ __all__ = [
     "LoweringError",
     "ProgramStructure",
     "decode_program",
+    "diskcache",
     "lower",
     "recover_structure",
 ]

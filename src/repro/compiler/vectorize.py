@@ -67,8 +67,65 @@ def staggered_rows(products, starts, length, n_acc):
     return tree_reduce(acc)
 
 
+def _chain_rows_ragged(padded, lengths, from_zero):
+    """Masked left-to-right chains over one padded row block.
+
+    ``padded`` holds each row's products left-justified; positions at
+    or past the row's length are junk and are frozen out with
+    ``np.where``, so every row sees exactly its own accumulation
+    chain — the same per-row op order as :func:`chain_rows`, without
+    one Python-level pass per distinct row length.
+    """
+    acc = padded[:, 0] + 0.0 if from_zero else padded[:, 0].copy()
+    # Positions below the shortest row need no mask: every row is
+    # still accumulating there, so the where (and its bool temp) is
+    # pure overhead for the dense prefix.
+    min_len = int(lengths.min())
+    for j in range(1, min_len):
+        acc = padded[:, j] + acc
+    for j in range(max(min_len, 1), padded.shape[1]):
+        acc = np.where(j < lengths, padded[:, j] + acc, acc)
+    return acc
+
+
+def _staggered_rows_ragged(padded, lengths, n_acc):
+    """Masked ISSR long-row order over one padded row block.
+
+    Every row in the block has ``length >= n_acc``; shorter and longer
+    rows share the block, with each row's staggered FREP cut off at
+    its own length (junk updates are masked away before they land).
+    """
+    acc = padded[:, :n_acc].copy()
+    total = padded.shape[1] - n_acc
+    # Unmasked dense prefix: below the shortest row's length every
+    # row's FREP is still running, so no freeze-out is needed.
+    live = min(int(lengths.min()) - n_acc, total)
+    for i in range(live):
+        k = i % n_acc
+        acc[:, k] = padded[:, n_acc + i] + acc[:, k]
+    for i in range(max(live, 0), total):
+        k = i % n_acc
+        acc[:, k] = np.where(n_acc + i < lengths,
+                             padded[:, n_acc + i] + acc[:, k], acc[:, k])
+    return tree_reduce(acc)
+
+
+#: Padded-block memory cap: fall back to per-length grouping when the
+#: dense (rows x max_length) product table would exceed this multiple
+#: of the actual nonzero count (degenerately skewed rows).
+_PAD_WASTE_FACTOR = 8
+
+
 def accumulate_rows(products, ptr, variant, index_bits):
-    """Per-row reduction of ``products`` in the kernel's exact order."""
+    """Per-row reduction of ``products`` in the kernel's exact order.
+
+    Rows are reduced together in one padded masked pass bounded by the
+    longest row — O(max row length) vectorized steps total, instead of
+    one Python pass per distinct row length — with bit-identical
+    per-row accumulation order. Degenerately skewed matrices (one huge
+    row amid many short ones) fall back to the per-length grouping so
+    the padded table cannot blow up memory.
+    """
     lengths = np.diff(ptr)
     nrows = len(lengths)
     y = np.zeros(nrows, dtype=np.float64)
@@ -76,6 +133,33 @@ def accumulate_rows(products, ptr, variant, index_bits):
         return y
     starts_all = np.asarray(ptr[:-1], dtype=np.int64)
     n_acc = N_ACCUMULATORS[index_bits] if variant == ISSR else 0
+    max_len = int(lengths.max())
+    if max_len == 0:
+        return y
+    if nrows * max_len > max(_PAD_WASTE_FACTOR * len(products), 4096):
+        return _accumulate_rows_grouped(products, lengths, starts_all, y,
+                                        variant, n_acc)
+    cols = starts_all[:, None] + np.arange(max_len)
+    np.clip(cols, 0, len(products) - 1, out=cols)  # junk lanes, masked off
+    padded = products[cols]
+    if variant in (BASE, SSR):
+        live = np.nonzero(lengths > 0)[0]
+        y[live] = _chain_rows_ragged(padded[live], lengths[live],
+                                     from_zero=True)
+        return y
+    short = np.nonzero((lengths > 0) & (lengths < n_acc))[0]
+    if len(short):
+        y[short] = _chain_rows_ragged(padded[short], lengths[short],
+                                      from_zero=False)
+    long = np.nonzero(lengths >= n_acc)[0]
+    if len(long):
+        y[long] = _staggered_rows_ragged(padded[long], lengths[long], n_acc)
+    return y
+
+
+def _accumulate_rows_grouped(products, lengths, starts_all, y, variant,
+                             n_acc):
+    """Per-distinct-length grouping (the skew-safe fallback path)."""
     for length in np.unique(lengths):
         length = int(length)
         if length == 0:

@@ -12,7 +12,10 @@ over a local socket, or the in-process
 - **coalesces** identical in-flight requests onto one execution;
 - **batches** compatible requests onto a pool of warm worker
   processes holding pre-constructed backend instances
-  (:class:`~repro.serve.pool.WorkerPool`);
+  (:class:`~repro.serve.pool.WorkerPool`), keeping several batches
+  in flight per worker and moving operand/result arrays through the
+  zero-copy shared-memory data plane (:mod:`repro.serve.shm`) — the
+  pipes carry descriptors, not array bytes;
 - **schedules** with per-tenant quotas, priorities, request timeouts
   and cancellation (:class:`~repro.serve.scheduler.Scheduler` — a
   deterministic, clock-injected core unit-testable without asyncio);
@@ -33,6 +36,7 @@ from repro.serve.protocol import (
     request_fields,
     validate_request,
 )
+from repro.serve import shm
 from repro.serve.scheduler import Scheduler, TenantQuota, Ticket
 from repro.serve.service import (
     Client,
@@ -54,5 +58,6 @@ __all__ = [
     "Ticket",
     "build_operands",
     "request_fields",
+    "shm",
     "validate_request",
 ]

@@ -58,6 +58,10 @@ def build_config(args):
         use_cache=not args.no_cache,
         default_timeout=args.timeout,
         socket_path=args.socket,
+        pipeline_depth=args.pipeline_depth,
+        max_queued=args.max_queued,
+        use_shm=not args.no_shm,
+        kernel_cache_dir=args.kernel_cache_dir,
     )
 
 
@@ -149,6 +153,21 @@ def main(argv=None):
                              ".repro-cache or $REPRO_CACHE_DIR)")
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the shared on-disk point cache")
+    parser.add_argument("--pipeline-depth", type=int, default=2,
+                        metavar="K",
+                        help="batches kept in flight per worker "
+                             "(default 2)")
+    parser.add_argument("--max-queued", type=int, default=None,
+                        metavar="N",
+                        help="global queued-ticket backpressure cap "
+                             "(default none)")
+    parser.add_argument("--no-shm", action="store_true",
+                        help="disable the shared-memory data plane "
+                             "(operands/results ride the pipes)")
+    parser.add_argument("--kernel-cache-dir", default=None, metavar="DIR",
+                        help="persistent compiled-kernel cache workers "
+                             "warm-start from (default "
+                             "<cache>/kernels)")
     parser.add_argument("--selfcheck", action="store_true",
                         help="start, round-trip one request per backend, "
                              "verify against repro.api.run, and exit")

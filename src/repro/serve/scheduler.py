@@ -112,7 +112,7 @@ class Scheduler:
     """
 
     def __init__(self, clock=time.monotonic, quota=None, batch_max=8,
-                 max_attempts=2):
+                 max_attempts=2, max_queued_total=None):
         self.clock = clock
         #: Default :class:`TenantQuota` applied to every tenant.
         self.quota = quota if quota is not None else TenantQuota()
@@ -120,6 +120,12 @@ class Scheduler:
         self.tenant_quotas = {}
         self.batch_max = max(1, batch_max)
         self.max_attempts = max(1, max_attempts)
+        #: Global queued-ticket cap across all tenants (None =
+        #: unlimited) — the backpressure valve the pipelined dispatch
+        #: leans on: once the pipeline is keeping every worker busy,
+        #: admission fails fast instead of queueing without bound.
+        self.max_queued_total = max_queued_total
+        self._queued_total = 0
         self._seq = itertools.count()
         self._ids = itertools.count(1)
         #: Queued primaries in submission order (priority sorts lazily).
@@ -159,11 +165,19 @@ class Scheduler:
             raise QuotaError(
                 f"tenant {tenant!r} has {counts[0]} queued requests "
                 f"(cap {cap}); retry later or raise the quota")
+        if (self.max_queued_total is not None
+                and self._queued_total >= self.max_queued_total):
+            self.stats["rejected"] += 1
+            raise QuotaError(
+                f"service queue is full ({self._queued_total} tickets, "
+                f"cap {self.max_queued_total}); retry later "
+                "(global backpressure)")
         now = self.clock()
         ticket = Ticket(next(self._ids), request, key, now)
         ticket.seq = next(self._seq)
         self._tickets[ticket.id] = ticket
         counts[0] += 1
+        self._queued_total += 1
         self.stats["submitted"] += 1
 
         primary = self._inflight_by_key.get(key)
@@ -183,7 +197,15 @@ class Scheduler:
         self._queue = [t for t in self._queue if t.state == QUEUED]
         return sorted(self._queue, key=lambda t: (t.priority, t.seq))
 
-    def next_batch(self):
+    def queued_classes(self):
+        """Batch classes currently queued, most urgent first."""
+        seen = []
+        for ticket in self._queued():
+            if ticket.batch_class not in seen:
+                seen.append(ticket.batch_class)
+        return seen
+
+    def next_batch(self, prefer_class=None):
         """Pop the next compatible batch to dispatch, or [].
 
         Takes the most urgent queued ticket, then fills the batch (up
@@ -191,9 +213,21 @@ class Scheduler:
         whose tenants have in-flight headroom, preserving urgency
         order. Every returned ticket is RUNNING with ``attempts``
         bumped.
+
+        ``prefer_class`` is the dispatch loop's batch-class affinity
+        hint: when queued work of that class exists, the batch is
+        seeded from its most urgent ticket instead of the globally
+        most urgent one, so a worker whose compiled templates are warm
+        for a class keeps eating it. Affinity never starves urgency
+        across calls — the dispatch loop only passes a hint for one
+        worker per round and falls back to the global order.
         """
         batch = []
         batch_class = None
+        if prefer_class is not None and any(
+                t.batch_class == prefer_class for t in self._queue
+                if t.state == QUEUED):
+            batch_class = prefer_class
         taken = {}  # tenant -> tickets already chosen for this batch
         for ticket in self._queued():
             counts = self._counts(ticket.tenant)
@@ -251,6 +285,7 @@ class Scheduler:
         ticket.state = state
         self.stats[stat] += 1
         self._counts(ticket.tenant)[0] -= 1
+        self._queued_total -= 1
         if ticket.primary is not None:
             if not was_running:  # waiters are never RUNNING
                 try:
@@ -305,6 +340,7 @@ class Scheduler:
             ticket.state = state
             self.stats[stat] += 1
             self._counts(ticket.tenant)[0] -= 1
+            self._queued_total -= 1
             if self._inflight_by_key.get(ticket.key) is ticket:
                 del self._inflight_by_key[ticket.key]
             return [ticket]

@@ -8,11 +8,22 @@ A :class:`Service` wires the deterministic
   immediately** from the shared :class:`~repro.eval.parallel.PointCache`
   (no queueing, no worker), coalesces duplicates of in-flight work,
   and otherwise queues a ticket and awaits its future;
-- a dispatch task drains compatible batches onto idle workers; each
-  batch is awaited on an executor thread, so worker death surfaces as
-  a broken pipe and turns into respawn + retry (bounded by the
-  scheduler's ``max_attempts``) or a clean
+- a dispatch task keeps up to ``pipeline_depth`` batches **in flight
+  per worker** (pipe buffering overlaps service-side dispatch with
+  worker-side execution), preferring to feed each worker the batch
+  class it last executed so warm compiled templates are reused; one
+  receiver task per worker drains replies in dispatch order, so
+  worker death surfaces as a broken pipe on that worker's receiver
+  and turns into respawn + segment reclamation + retry (bounded by
+  the scheduler's ``max_attempts``) or a clean
   :class:`~repro.errors.WorkerCrashError` — never a hung client;
+- operand and result arrays cross the worker boundary through the
+  shared-memory data plane (:mod:`repro.serve.shm`): the dispatch
+  path packs in-process operands into a per-batch segment and ships
+  descriptors, workers write result arrays into a service-named
+  result segment, and the receiver digests them without a pipe copy
+  (one small materializing copy out of the segment so responses and
+  cache entries outlive the unlink);
 - a sweep task expires deadlines through
   :meth:`~repro.serve.scheduler.Scheduler.expire`;
 - an optional UNIX-socket endpoint speaks newline-delimited JSON
@@ -25,10 +36,14 @@ socket client.
 """
 
 import asyncio
+import collections
+import concurrent.futures
 import dataclasses
 import socket
 import threading
 import time
+
+import numpy as np
 
 from repro.errors import (
     ReproError,
@@ -39,7 +54,7 @@ from repro.errors import (
     WorkerCrashError,
 )
 from repro.eval.parallel import PointCache
-from repro.serve import protocol
+from repro.serve import protocol, shm
 from repro.serve.pool import WorkerPool
 from repro.serve.scheduler import Scheduler, TenantQuota
 from repro.telemetry import metrics as telemetry_metrics
@@ -70,6 +85,15 @@ class ServeConfig:
     ``Scheduler.tenant_quotas``); ``sweep_interval`` bounds how stale
     a deadline can go undetected; ``default_timeout`` is applied to
     requests that carry none (None = wait forever).
+
+    ``pipeline_depth`` is the number of batches the dispatcher keeps
+    in flight *per worker* (>= 2 overlaps dispatch with execution);
+    ``max_queued`` is the global queued-ticket backpressure cap
+    feeding :class:`~repro.serve.scheduler.Scheduler`
+    (``max_queued_total``); ``use_shm`` turns the shared-memory data
+    plane off (operands/results fall back to pickled pipe frames);
+    ``kernel_cache_dir`` overrides the persistent compiled-kernel
+    cache directory workers warm-start from.
     """
 
     workers: int = 2
@@ -84,6 +108,10 @@ class ServeConfig:
     socket_path: str = None
     mp_context: str = "fork"
     allow_fault_injection: bool = False
+    pipeline_depth: int = 2
+    max_queued: int = None
+    use_shm: bool = True
+    kernel_cache_dir: str = None
 
 
 class Service:
@@ -95,14 +123,26 @@ class Service:
         quota = self.config.quota or TenantQuota()
         self.scheduler = Scheduler(clock=clock, quota=quota,
                                    batch_max=self.config.batch_max,
-                                   max_attempts=self.config.max_attempts)
+                                   max_attempts=self.config.max_attempts,
+                                   max_queued_total=self.config.max_queued)
         self.cache = PointCache(cache_dir=self.config.cache_dir,
                                 use_cache=self.config.use_cache)
         self.pool = WorkerPool(
             n_workers=self.config.workers,
             backends=self.config.backends,
             mp_context=self.config.mp_context,
-            allow_fault_injection=self.config.allow_fault_injection)
+            allow_fault_injection=self.config.allow_fault_injection,
+            kernel_cache_dir=self.config.kernel_cache_dir)
+        #: The shared-memory data plane (segment ledger + reclamation).
+        self.arena = shm.ShmArena()
+        self._use_shm = bool(self.config.use_shm) and shm.available()
+        #: Per-worker FIFO of in-flight batch records (reply order).
+        self._pending = [collections.deque()
+                         for _ in range(self.config.workers)]
+        self._dispatched = []  # per-worker events, created on start()
+        #: Result-segment accounting (operand side lives in the arena).
+        self.shm_result_segments = 0
+        self.shm_result_bytes = 0
         self._futures = {}
         self._keyparams = {}
         self._loop = None
@@ -111,6 +151,12 @@ class Service:
         self._server = None
         self._running = False
         self._started_at = None
+        #: Dedicated threads for blocking pipe recvs — one per worker
+        #: receiver plus slack for pool lifecycle calls, so blocked
+        #: recvs can never starve the loop's default executor.
+        self._recv_executor = concurrent.futures.ThreadPoolExecutor(
+            max_workers=self.config.workers + 2,
+            thread_name_prefix="repro-serve-recv")
         #: Responses served straight from the point cache (no ticket).
         self.cache_fastpath_hits = 0
         #: Service-scoped, always-enabled registry: request-latency
@@ -128,9 +174,14 @@ class Service:
         self._h_batch = self.telemetry.histogram(
             "repro_serve_batch_size", "Tickets per dispatched batch",
             buckets=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0))
+        self._h_depth = self.telemetry.histogram(
+            "repro_serve_inflight_batches",
+            "Batches in flight across the pool, observed at dispatch",
+            buckets=(1.0, 2.0, 4.0, 8.0, 16.0))
         # bound series for the hot paths: label keys resolved once
         self._ob_queued = self._h_queued.bind()
         self._ob_batch = self._h_batch.bind()
+        self._ob_depth = self._h_depth.bind()
         self._ob_request = {path: self._h_request.bind(path=path)
                             for path in ("cached", "computed", "error")}
         self.telemetry.collect(self._collect_serve)
@@ -144,11 +195,17 @@ class Service:
         self._work_event = asyncio.Event()
         self._running = True
         self._started_at = self.clock()
-        await self._loop.run_in_executor(None, self.pool.start)
+        await self._loop.run_in_executor(self._recv_executor,
+                                         self.pool.start)
+        self._dispatched = [asyncio.Event()
+                            for _ in range(self.config.workers)]
         self._tasks = [
             self._loop.create_task(self._dispatch_loop()),
             self._loop.create_task(self._sweep_loop()),
         ]
+        self._tasks.extend(
+            self._loop.create_task(self._receiver_loop(index))
+            for index in range(self.config.workers))
         if self.config.socket_path:
             self._server = await asyncio.start_unix_server(
                 self._handle_connection, path=self.config.socket_path)
@@ -174,7 +231,15 @@ class Service:
                 future.set_exception(ServeError("service stopped"))
         self._futures.clear()
         self._trace_ids.clear()
-        await self._loop.run_in_executor(None, self.pool.stop)
+        await self._loop.run_in_executor(self._recv_executor,
+                                         self.pool.stop)
+        for pending in self._pending:
+            for record in pending:
+                self.arena.reclaim_crashed(record["lease"],
+                                           record["result_name"])
+            pending.clear()
+        self.arena.shutdown()
+        self._recv_executor.shutdown(wait=False)
 
     # -- request path ------------------------------------------------------
 
@@ -301,54 +366,149 @@ class Service:
             future.set_result(response)
 
     async def _dispatch_loop(self):
+        """Keep up to ``pipeline_depth`` batches in flight per worker.
+
+        Each round picks the least-loaded worker with headroom —
+        preferring one whose last executed batch class is queued again
+        (template-affinity: the worker's compiled closures are warm
+        for that class) — and hands the scheduler that class as its
+        batching hint. Death handling lives entirely in the per-worker
+        receiver: a failed send leaves the record pending, the
+        receiver's recv fails on the same dead pipe, and one path
+        reclaims/respawns/requeues.
+        """
+        depth = max(1, self.config.pipeline_depth)
         while self._running:
             await self._work_event.wait()
             self._work_event.clear()
             while self._running and self.scheduler.has_work():
-                idle = self.pool.idle_workers()
-                if not idle:
+                eligible = [w for w in self.pool.workers
+                            if w.inflight < depth]
+                if not eligible:
                     break
-                batch = self.scheduler.next_batch()
+                eligible.sort(key=lambda w: (w.inflight, w.index))
+                queued = set(self.scheduler.queued_classes())
+                worker = next((w for w in eligible
+                               if w.last_class in queued), eligible[0])
+                batch = self.scheduler.next_batch(
+                    prefer_class=worker.last_class)
                 if not batch:
                     break  # every queued tenant is at its inflight cap
-                worker = idle[0]
-                now = self.clock()
-                self._ob_batch.observe(len(batch))
-                for t in batch:
-                    self._ob_queued.observe(now - t.submitted_at)
-                rec = telemetry_trace.recorder()
-                jobs = [{"request": t.request, "inject": t.request["inject"],
-                         "trace": rec is not None,
-                         "trace_id": self._trace_ids.get(t.id)}
-                        for t in batch]
-                if rec is not None:
-                    pid = rec.process("serve")
-                    tid = rec.thread(pid, "requests")
-                    for t in batch:
-                        rec.instant(pid, tid, "serve", "dispatch",
-                                    _wall_us(),
-                                    args={"trace_id":
-                                          self._trace_ids.get(t.id),
-                                          "worker": worker.index,
-                                          "batch": len(batch)})
-                try:
-                    self.pool.send_batch(worker, jobs)
-                except (BrokenPipeError, OSError):
-                    self._loop.create_task(
-                        self._revive_worker(worker, batch))
-                    continue
-                self._loop.create_task(self._await_batch(worker, batch))
+                self._dispatch_batch(worker, batch)
 
-    async def _await_batch(self, worker, batch):
+    def _dispatch_batch(self, worker, batch):
+        """Pack one batch's data plane and send it to ``worker``."""
+        now = self.clock()
+        self._ob_batch.observe(len(batch))
+        for t in batch:
+            self._ob_queued.observe(now - t.submitted_at)
+
+        lease = None
+        result_name = None
+        descriptors = [None] * len(batch)
+        if self._use_shm:
+            operand_sets = [t.request["operands"] for t in batch]
+            total, writes, descriptors = shm.pack_operands(operand_sets)
+            self.arena.stats["inline_fallbacks"] += sum(
+                1 for described in descriptors if described
+                for spec in described.values()
+                if spec["kind"] == "inline")
+            if writes:
+                lease = self.arena.create(total)
+                shm.write_arrays(lease.segment, writes)
+            result_name = self.arena.result_name()
+
+        rec = telemetry_trace.recorder()
+        jobs = []
+        for t, described in zip(batch, descriptors):
+            request = t.request
+            if described is not None:
+                # operands ride the segment; the pipe gets descriptors
+                request = {**request, "operands": None}
+            jobs.append({"request": request, "shm": described,
+                         "inject": t.request["inject"],
+                         "trace": rec is not None,
+                         "trace_id": self._trace_ids.get(t.id)})
+        if rec is not None:
+            pid = rec.process("serve")
+            tid = rec.thread(pid, "requests")
+            for t in batch:
+                rec.instant(pid, tid, "serve", "dispatch", _wall_us(),
+                            args={"trace_id": self._trace_ids.get(t.id),
+                                  "worker": worker.index,
+                                  "batch": len(batch)})
+        message = {"jobs": jobs,
+                   "operand_segment": lease.name if lease else None,
+                   "result_segment": result_name}
+        record = {"batch": batch, "lease": lease,
+                  "result_name": result_name}
+        worker.last_class = batch[0].batch_class
         try:
-            results = await self._loop.run_in_executor(
-                None, self.pool.recv_batch, worker)
-        except (EOFError, OSError):
-            await self._revive_worker(worker, batch)
-            return
-        for ticket, (status, payload) in zip(batch, results):
-            if status == "ok":
-                stats, result, digest, profile, spans = payload
+            self.pool.send_batch(worker, message)
+        except (BrokenPipeError, OSError):
+            # Worker is dead; the receiver's recv on the same pipe
+            # fails next, reclaiming this record with the rest.
+            worker.inflight += 1  # record is pending despite the fail
+        self._pending[worker.index].append(record)
+        self._dispatched[worker.index].set()
+        self._ob_depth.observe(self.pool.inflight_batches())
+
+    async def _receiver_loop(self, index):
+        """Drain one worker's replies in dispatch order (FIFO pipe).
+
+        The single owner of worker ``index``'s death handling: a recv
+        error means every pending batch on that worker is lost, so the
+        receiver reclaims their shared-memory segments, respawns the
+        worker, and requeues (or cleanly fails) their tickets.
+        """
+        while self._running:
+            if not self._pending[index]:
+                self._dispatched[index].clear()
+                await self._dispatched[index].wait()
+                continue
+            worker = self.pool.workers[index]
+            try:
+                reply = await self._loop.run_in_executor(
+                    self._recv_executor, self.pool.recv_batch, worker)
+            except (EOFError, OSError):
+                if self._running:
+                    await self._handle_worker_death(index)
+                continue
+            record = self._pending[index].popleft()
+            worker.inflight = max(worker.inflight - 1, 0)
+            try:
+                self._settle_batch(worker, record, reply)
+            finally:
+                if record["lease"] is not None:
+                    self.arena.release(record["lease"])
+            self._work_event.set()
+
+    def _settle_batch(self, worker, record, reply):
+        """Resolve one batch's tickets from a worker reply."""
+        results, meta = reply
+        batch = record["batch"]
+        segment = None
+        if meta.get("segment"):
+            try:
+                segment = shm.attach(meta["segment"])
+            except ServeError:
+                segment = None  # results fall through to errors below
+            self.shm_result_segments += 1
+            self.shm_result_bytes += int(meta.get("nbytes", 0))
+        try:
+            for ticket, (status, payload) in zip(batch, results):
+                if status != "ok":
+                    for settled in self.scheduler.fail(ticket):
+                        self._resolve_error(settled, ServeError(payload))
+                    continue
+                stats, result_ref, digest, profile, spans = payload
+                try:
+                    result = self._materialize_result(result_ref, segment)
+                except (ServeError, ValueError, KeyError) as exc:
+                    for settled in self.scheduler.fail(ticket):
+                        self._resolve_error(settled, ServeError(
+                            f"result transfer failed: {exc}"))
+                    continue
                 if spans:
                     rec = telemetry_trace.recorder()
                     if rec is not None:
@@ -365,28 +525,61 @@ class Service:
                         coalesced=settled is not ticket,
                         attempts=ticket.attempts,
                         kernel=ticket.request["kernel"], profile=profile))
-            else:
-                for settled in self.scheduler.fail(ticket):
-                    self._resolve_error(settled, ServeError(payload))
-        if len(results) < len(batch):
-            # a worker that died after sending a partial reply
-            await self._revive_worker(worker, batch[len(results):],
-                                      respawn=False)
-        self._work_event.set()
+            for ticket in batch[len(results):]:
+                # the worker answered fewer jobs than dispatched
+                if not self.scheduler.requeue(ticket):
+                    for settled in self.scheduler.fail(ticket):
+                        self._resolve_error(settled, WorkerCrashError(
+                            f"worker returned no result for request "
+                            f"{ticket.id}"))
+        finally:
+            if segment is not None:
+                try:
+                    segment.unlink()
+                except (FileNotFoundError, OSError):
+                    pass
+                shm.close_quietly(segment)
 
-    async def _revive_worker(self, worker, tickets, respawn=True):
-        """Respawn a dead worker and retry (or cleanly fail) its batch."""
-        if respawn:
-            await self._loop.run_in_executor(None, self.pool.respawn,
-                                             worker)
-        for ticket in tickets:
-            if self.scheduler.requeue(ticket):
-                continue
-            for settled in self.scheduler.fail(ticket):
-                self._resolve_error(settled, WorkerCrashError(
-                    f"worker died executing request {ticket.id} "
-                    f"(attempt {ticket.attempts}/"
-                    f"{self.scheduler.max_attempts})"))
+    def _materialize_result(self, result_ref, segment):
+        """A self-owned result object from a worker's result reference.
+
+        Shared-memory references are copied out of the segment
+        (``np.array``) so responses and cache entries survive the
+        segment's unlink; inline references pass through. The copy is
+        the *only* one on the result path — the pipe never carried the
+        arrays.
+        """
+        if result_ref is None:
+            raise ServeError("worker returned no result payload")
+        if "inline" in result_ref:
+            return result_ref["inline"]
+        ref = result_ref["shm"]
+        if segment is None:
+            raise ServeError("result segment vanished before digestion")
+        arrays = [np.array(shm.view_array(segment.buf, part))
+                  for part in ref["arrays"]]
+        return shm.unpack_result(ref["meta"], arrays)
+
+    async def _handle_worker_death(self, index):
+        """Reclaim, respawn, and retry after worker ``index`` died."""
+        worker = self.pool.workers[index]
+        records = list(self._pending[index])
+        self._pending[index].clear()
+        for record in records:
+            self.arena.reclaim_crashed(record["lease"],
+                                       record["result_name"])
+            self.pool.retried_batches += 1
+        await self._loop.run_in_executor(self._recv_executor,
+                                         self.pool.respawn, worker)
+        for record in records:
+            for ticket in record["batch"]:
+                if self.scheduler.requeue(ticket):
+                    continue
+                for settled in self.scheduler.fail(ticket):
+                    self._resolve_error(settled, WorkerCrashError(
+                        f"worker died executing request {ticket.id} "
+                        f"(attempt {ticket.attempts}/"
+                        f"{self.scheduler.max_attempts})"))
         self._work_event.set()
 
     async def _sweep_loop(self):
@@ -422,6 +615,45 @@ class Service:
         counter("repro_serve_worker_respawns_total",
                 "Workers respawned after death").set_total(
                     self.pool.respawns)
+        counter("repro_serve_worker_respawn_storms_total",
+                "Respawn-storm detections (>3 respawns in 10s)"
+                ).set_total(self.pool.storms)
+        counter("repro_serve_batches_retried_total",
+                "Batches re-dispatched after a worker died holding "
+                "them").set_total(self.pool.retried_batches)
+        pipe = registry.counter(
+            "repro_serve_pipe_bytes_total",
+            "Bytes crossing the worker pipes (control plane only "
+            "under shm)")
+        pipe.set_total(self.pool.pipe_bytes["out"], direction="out")
+        pipe.set_total(self.pool.pipe_bytes["in"], direction="in")
+        gauge("repro_serve_inflight_batches_now",
+              "Batches currently in flight across the pool").set(
+                  self.pool.inflight_batches())
+        astats = self.arena.stats
+        counter("repro_serve_shm_segments_total",
+                "Operand segments created").set_total(astats["segments"])
+        counter("repro_serve_shm_bytes_total",
+                "Operand bytes written to shared memory").set_total(
+                    astats["bytes"])
+        counter("repro_serve_shm_released_total",
+                "Segments released (refcount reached zero)").set_total(
+                    astats["released"])
+        counter("repro_serve_shm_crash_reclaimed_total",
+                "Segments reclaimed from dead workers").set_total(
+                    astats["crash_reclaimed"])
+        counter("repro_serve_shm_inline_fallbacks_total",
+                "Operands the shm codec fell back to pickling"
+                ).set_total(astats["inline_fallbacks"])
+        counter("repro_serve_shm_result_segments_total",
+                "Result segments digested").set_total(
+                    self.shm_result_segments)
+        counter("repro_serve_shm_result_bytes_total",
+                "Result bytes received through shared memory"
+                ).set_total(self.shm_result_bytes)
+        gauge("repro_serve_shm_live_segments",
+              "Operand segments currently leased").set(
+                  len(self.arena.live_segments()))
 
     def stats(self):
         """JSON-able service statistics (scheduler, pool, cache, latency)."""
@@ -435,6 +667,11 @@ class Service:
                       "fastpath_hits": self.cache_fastpath_hits,
                       "dir": self.cache.cache_dir,
                       "enabled": self.cache.use_cache},
+            "shm": {"enabled": self._use_shm,
+                    **self.arena.stats,
+                    "live": len(self.arena.live_segments()),
+                    "result_segments": self.shm_result_segments,
+                    "result_bytes": self.shm_result_bytes},
             "latency": {
                 "queued": _ms_summary(self._h_queued.summary()),
                 "request_cached": _ms_summary(
@@ -686,6 +923,24 @@ class SocketClient:
     def request(self, request):
         """Submit + wait in one call; returns the response message."""
         return self.wait(self.submit(request))
+
+    def request_many(self, requests):
+        """Pipeline many requests on this one connection.
+
+        All requests are written before any response is read (the
+        correlation ids pair them back up), so the server's dispatch
+        pipeline fills from a single client. Returns input-ordered
+        results; a failed request appears as its :class:`ServeError`
+        instance instead of a response message.
+        """
+        ids = [self.submit(request) for request in requests]
+        results = []
+        for client_id in ids:
+            try:
+                results.append(self.wait(client_id))
+            except ServeError as exc:
+                results.append(exc)
+        return results
 
     def cancel(self, client_id):
         """Ask the server to cancel a submitted request."""

@@ -1,0 +1,404 @@
+"""Zero-copy shared-memory data plane for the serve worker boundary.
+
+The fork-pipe transport pickles every operand and result ndarray —
+payload bytes scale with the arrays, and each crossing costs a full
+serialize + syscall + deserialize copy chain. This module replaces the
+array payloads with **descriptors**: the service writes operand arrays
+into a POSIX shared-memory segment (`multiprocessing.shared_memory`)
+once, workers attach and wrap zero-copy ndarray views, and result
+arrays come back the same way — the pipe carries only
+``(segment, dtype, shape, offset)`` tuples plus the small stats/digest
+payload, so bytes-on-pipe per request is descriptor-sized regardless
+of operand size. ``matrix_ref`` operands never enter a segment at all:
+they stay path references and mmap zero-copy inside the worker.
+
+Lifecycle (documented for operators in ``docs/serve.md``):
+
+- the service's :class:`ShmArena` creates one operand segment per
+  dispatched batch and names the batch's result segment up front;
+- the worker attaches operands read-only, creates the result segment
+  under the service-chosen name, writes result arrays in place, and
+  closes its mappings after replying;
+- the service digests/encodes results straight from the attached
+  views, then releases both segments (refcount → unlink);
+- **crash-safe reclamation**: segment names are recorded at dispatch,
+  so when a worker dies the respawn path unlinks the batch's operand
+  segment *and* whatever result segment the worker managed to create
+  before dying — nothing survives in ``/dev/shm`` (the stress suite
+  asserts this by listing it).
+
+Descriptors are plain picklable dicts; anything this codec does not
+recognize falls back to an inline (pickled) payload, counted
+separately so the zero-copy claim stays measurable.
+"""
+
+import os
+
+import numpy as np
+
+from repro.errors import ServeError
+
+try:
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover - always present on CPython 3.8+
+    _shared_memory = None
+
+#: /dev/shm name prefix for every segment this module creates — the
+#: leak audits in the stress suite list the directory filtered by it.
+SEGMENT_PREFIX = "rsv"
+
+#: Segment payloads are 64-byte aligned (cache line) inside a segment.
+ALIGNMENT = 64
+
+
+def available():
+    """True when POSIX shared memory is usable on this platform."""
+    return _shared_memory is not None and hasattr(os, "ftruncate")
+
+
+def _align(offset):
+    return (offset + ALIGNMENT - 1) & ~(ALIGNMENT - 1)
+
+
+# -- array <-> descriptor codec ---------------------------------------------
+
+def _array_parts(value):
+    """The (kind, named arrays, meta) decomposition of one operand.
+
+    Returns None when the value is not a recognized array carrier —
+    the caller falls back to inline transport for it.
+    """
+    from repro.formats.csr import CsrMatrix
+    from repro.formats.fiber import SparseFiber
+
+    if isinstance(value, np.ndarray) and value.dtype != object:
+        return ("ndarray", {"data": np.ascontiguousarray(value)}, {})
+    if isinstance(value, CsrMatrix):
+        return ("csr", {
+            "ptr": np.ascontiguousarray(value.ptr),
+            "idcs": np.ascontiguousarray(value.idcs),
+            "vals": np.ascontiguousarray(value.vals),
+        }, {"shape": [int(value.nrows), int(value.ncols)]})
+    if isinstance(value, SparseFiber):
+        return ("fiber", {
+            "indices": np.ascontiguousarray(value.indices),
+            "values": np.ascontiguousarray(value.values),
+        }, {"dim": int(value.dim)})
+    return None
+
+
+def _rebuild(kind, arrays, meta):
+    """Invert :func:`_array_parts` over zero-copy views."""
+    if kind == "ndarray":
+        return arrays["data"]
+    if kind == "csr":
+        from repro.formats.csr import CsrMatrix
+
+        return CsrMatrix._wrap(arrays["ptr"], arrays["idcs"],
+                               arrays["vals"], tuple(meta["shape"]))
+    if kind == "fiber":
+        from repro.formats.fiber import SparseFiber
+
+        fiber = object.__new__(SparseFiber)
+        fiber.indices = arrays["indices"]
+        fiber.values = arrays["values"]
+        fiber.dim = int(meta["dim"])
+        return fiber
+    raise ServeError(f"unknown shm descriptor kind {kind!r}")
+
+
+def pack_operands(operand_sets):
+    """Lay out every in-process operand array of a batch in one plan.
+
+    ``operand_sets`` is one ``{operand: value}`` dict per job (None
+    for jobs without in-process operands). Returns ``(total_bytes,
+    writes, descriptors)`` where ``writes`` is a flat list of
+    ``(offset, array)`` copy instructions and ``descriptors`` mirrors
+    ``operand_sets`` with each value replaced by a descriptor dict.
+    Values the codec does not recognize stay inline under
+    ``{"kind": "inline", "value": ...}`` (pickled over the pipe).
+    """
+    offset = 0
+    writes = []
+    descriptors = []
+    # An array shared by several jobs of the batch (coalesced
+    # workloads asking about one matrix) is written once; later
+    # descriptors alias the first copy's layout. Safe keying: every
+    # array in ``seen`` is pinned by ``writes``, so its id cannot be
+    # recycled within this pack.
+    seen = {}
+    for operands in operand_sets:
+        if operands is None:
+            descriptors.append(None)
+            continue
+        described = {}
+        for name, value in operands.items():
+            parts = _array_parts(value)
+            if parts is None:
+                described[name] = {"kind": "inline", "value": value}
+                continue
+            kind, arrays, meta = parts
+            layout = {}
+            for part, arr in arrays.items():
+                entry = seen.get(id(arr))
+                if entry is None:
+                    offset = _align(offset)
+                    writes.append((offset, arr))
+                    entry = {"dtype": arr.dtype.str,
+                             "shape": list(arr.shape),
+                             "offset": offset}
+                    offset += arr.nbytes
+                    seen[id(arr)] = entry
+                layout[part] = entry
+            described[name] = {"kind": kind, "meta": meta,
+                               "arrays": layout}
+        descriptors.append(described)
+    return offset, writes, descriptors
+
+
+def descriptor_nbytes(descriptors):
+    """Array bytes referenced by a job's descriptors (for accounting)."""
+    total = 0
+    for described in descriptors or []:
+        if not described:
+            continue
+        for spec in described.values():
+            for part in spec.get("arrays", {}).values():
+                total += int(np.dtype(part["dtype"]).itemsize
+                             * int(np.prod(part["shape"] or [1])))
+    return total
+
+
+def view_array(buffer, part):
+    """A zero-copy ndarray view of one descriptor part."""
+    dtype = np.dtype(part["dtype"])
+    shape = tuple(part["shape"])
+    count = int(np.prod(shape)) if shape else 1
+    arr = np.frombuffer(buffer, dtype=dtype, count=count,
+                        offset=int(part["offset"]))
+    return arr.reshape(shape)
+
+
+def unpack_operands(described, buffer):
+    """Materialize one job's operands from descriptors (worker side).
+
+    Array-backed operands become zero-copy views into ``buffer`` (the
+    attached operand segment); inline values pass through untouched.
+    """
+    operands = {}
+    for name, spec in described.items():
+        if spec["kind"] == "inline":
+            operands[name] = spec["value"]
+            continue
+        arrays = {part: view_array(buffer, layout)
+                  for part, layout in spec["arrays"].items()}
+        operands[name] = _rebuild(spec["kind"], arrays, spec["meta"])
+    return operands
+
+
+def pack_result(kind, result):
+    """Decompose one kernel result into shm-transportable arrays.
+
+    Returns ``(arrays, meta)`` where ``arrays`` is the result's
+    canonical array tuple (see ``protocol._result_arrays``) and
+    ``meta`` carries what :func:`unpack_result` needs to rebuild it.
+    """
+    from repro.serve import protocol
+
+    arrays = [np.ascontiguousarray(a)
+              for a in protocol._result_arrays(kind, result)]
+    return arrays, {"kind": kind}
+
+
+def unpack_result(meta, arrays):
+    """Rebuild a kernel result object from its canonical arrays."""
+    kind = meta["kind"]
+    if kind == "scalar":
+        return np.float64(arrays[0].reshape(())[()])
+    if kind in ("vector", "dense", "tensor"):
+        return arrays[0]
+    if kind == "csr":
+        from repro.formats.csr import CsrMatrix
+
+        ptr, idcs, vals, shape = arrays
+        return CsrMatrix._wrap(np.asarray(ptr, dtype=np.int64),
+                               np.asarray(idcs, dtype=np.int64),
+                               np.asarray(vals, dtype=np.float64),
+                               (int(shape[0]), int(shape[1])))
+    raise ServeError(f"unknown result kind {kind!r}")
+
+
+# -- worker-side segment helpers --------------------------------------------
+
+def attach(name):
+    """Attach an existing segment read-write; raises ServeError if gone."""
+    try:
+        return _shared_memory.SharedMemory(name=name)
+    except (FileNotFoundError, OSError) as exc:
+        raise ServeError(f"shm segment {name!r} unavailable: {exc}") from None
+
+
+def create(name, nbytes):
+    """Create a segment of at least one byte under ``name``."""
+    return _shared_memory.SharedMemory(name=name, create=True,
+                                       size=max(int(nbytes), 1))
+
+
+def write_arrays(segment, writes):
+    """Copy ``(offset, array)`` instructions into a segment's buffer."""
+    buffer = segment.buf
+    for offset, arr in writes:
+        flat = arr.reshape(-1)
+        view = np.frombuffer(buffer, dtype=arr.dtype, count=flat.size,
+                             offset=offset)
+        view[:] = flat
+
+
+def close_quietly(segment):
+    """Close a mapping, tolerating exported views that pin the mmap.
+
+    Returns True when the mapping actually closed. A BufferError means
+    some ndarray view still references the buffer; the caller keeps
+    the segment object and retries later — never crashes the worker.
+    """
+    try:
+        segment.close()
+    except BufferError:
+        return False
+    except OSError:
+        pass
+    return True
+
+
+def unlink_quietly(name):
+    """Best-effort unlink of a segment by name; True when it existed."""
+    if _shared_memory is None:
+        return False
+    try:
+        segment = _shared_memory.SharedMemory(name=name)
+    except (FileNotFoundError, OSError):
+        return False
+    try:
+        segment.unlink()
+    except (FileNotFoundError, OSError):
+        pass
+    close_quietly(segment)
+    return True
+
+
+def list_segments(prefix=SEGMENT_PREFIX):
+    """Names under ``/dev/shm`` carrying ``prefix`` (leak audits)."""
+    try:
+        return sorted(n for n in os.listdir("/dev/shm")
+                      if n.startswith(prefix))
+    except OSError:
+        return []
+
+
+# -- service-side arena ------------------------------------------------------
+
+class SegmentLease:
+    """One service-created segment with a consumer refcount."""
+
+    __slots__ = ("name", "segment", "refs", "nbytes")
+
+    def __init__(self, name, segment, nbytes):
+        self.name = name
+        self.segment = segment
+        self.refs = 1
+        self.nbytes = nbytes
+
+    def __repr__(self):
+        return f"SegmentLease({self.name}, refs={self.refs})"
+
+
+class ShmArena:
+    """The service's segment factory, ledger, and reclamation engine.
+
+    Every segment the data plane touches is accounted here: operand
+    segments are created and refcounted by the service; result-segment
+    *names* are allocated here before dispatch so a dead worker's
+    half-written result segment can always be found and unlinked.
+    ``stats`` feeds the ``repro_serve_shm_*`` telemetry collectors.
+    """
+
+    def __init__(self, tag=None):
+        self.tag = tag if tag is not None else f"{os.getpid():x}"
+        self._seq = 0
+        self._leases = {}
+        self.stats = {
+            "segments": 0, "bytes": 0, "released": 0,
+            "crash_reclaimed": 0, "inline_fallbacks": 0,
+        }
+
+    def _next_name(self, suffix):
+        self._seq += 1
+        return f"{SEGMENT_PREFIX}{self.tag}n{self._seq}{suffix}"
+
+    def result_name(self):
+        """Reserve a result-segment name for one dispatched batch."""
+        return self._next_name("r")
+
+    def create(self, nbytes):
+        """Create a refcounted operand segment; returns its lease."""
+        name = self._next_name("o")
+        try:
+            segment = create(name, nbytes)
+        except OSError as exc:
+            raise ServeError(f"cannot create shm segment {name!r} "
+                             f"({nbytes} bytes): {exc}") from None
+        lease = SegmentLease(name, segment, nbytes)
+        self._leases[name] = lease
+        self.stats["segments"] += 1
+        self.stats["bytes"] += int(nbytes)
+        return lease
+
+    def acquire(self, lease):
+        """Add one consumer to a live lease."""
+        lease.refs += 1
+        return lease
+
+    def release(self, lease):
+        """Drop one consumer; unlinks the segment at refcount zero."""
+        if lease.name not in self._leases:
+            return False
+        lease.refs -= 1
+        if lease.refs > 0:
+            return False
+        del self._leases[lease.name]
+        try:
+            lease.segment.unlink()
+        except (FileNotFoundError, OSError):
+            pass
+        close_quietly(lease.segment)
+        self.stats["released"] += 1
+        return True
+
+    def reclaim_crashed(self, lease=None, result_name=None):
+        """Unlink a dead worker's batch segments, whatever exists.
+
+        The operand lease is force-released regardless of refcount
+        (its only consumers died); the result segment may or may not
+        have been created before the crash — both outcomes are fine.
+        Returns the number of segments actually unlinked.
+        """
+        reclaimed = 0
+        if lease is not None and lease.name in self._leases:
+            lease.refs = 1
+            if self.release(lease):
+                reclaimed += 1
+                self.stats["released"] -= 1
+        if result_name is not None and unlink_quietly(result_name):
+            reclaimed += 1
+        self.stats["crash_reclaimed"] += reclaimed
+        return reclaimed
+
+    def live_segments(self):
+        """Names of operand segments currently leased."""
+        return sorted(self._leases)
+
+    def shutdown(self):
+        """Unlink every remaining segment (service stop path)."""
+        for lease in list(self._leases.values()):
+            lease.refs = 1
+            self.release(lease)

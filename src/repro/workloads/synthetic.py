@@ -237,7 +237,10 @@ def random_csr(nrows, ncols, nnz, distribution="uniform", seed=None, **kwargs):
     vals = rng.standard_normal(nnz)
     ptr = np.zeros(nrows + 1, dtype=np.int64)
     np.cumsum(degrees, out=ptr[1:])
-    return CsrMatrix(ptr, cols, vals, (nrows, ncols))
+    # Rows are sorted unique picks within [0, ncols) by construction,
+    # so the validating constructor's per-row scan is pure overhead on
+    # this hot path (serve workers rebuild operands per request).
+    return CsrMatrix._wrap(ptr, cols, vals, (nrows, ncols))
 
 
 def _row_degrees(rng, nrows, ncols, nnz, distribution, kwargs):

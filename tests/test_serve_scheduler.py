@@ -347,3 +347,69 @@ class TestIntrospection:
         sched = Scheduler(clock=FakeClock())
         submit(sched, seed=1)
         json.dumps(sched.snapshot())
+
+
+class TestGlobalBackpressure:
+    def test_total_queue_cap_rejects_any_tenant(self):
+        sched = Scheduler(clock=FakeClock(), max_queued_total=2)
+        submit(sched, seed=1, tenant="a")
+        submit(sched, seed=2, tenant="b")
+        # the global cap bites even for a tenant with private headroom
+        with pytest.raises(QuotaError, match="global backpressure"):
+            submit(sched, seed=3, tenant="c")
+        assert sched.stats["rejected"] == 1
+
+    def test_settlement_reopens_the_gate(self):
+        sched = Scheduler(clock=FakeClock(), max_queued_total=1)
+        t = submit(sched, seed=1)
+        sched.next_batch()
+        sched.complete(t)
+        submit(sched, seed=2)  # admitted again
+
+    def test_cancel_reopens_the_gate(self):
+        sched = Scheduler(clock=FakeClock(), max_queued_total=1)
+        t = submit(sched, seed=1)
+        sched.cancel(t.id)
+        submit(sched, seed=2)
+
+    def test_coalesced_waiters_count_toward_the_cap(self):
+        sched = Scheduler(clock=FakeClock(), max_queued_total=2)
+        submit(sched, seed=1)
+        submit(sched, seed=1)  # coalesces, but still occupies a slot
+        with pytest.raises(QuotaError, match="queue is full"):
+            submit(sched, seed=1)
+
+
+class TestBatchClassAffinity:
+    def test_queued_classes_dedupes_in_urgency_order(self):
+        sched = Scheduler(clock=FakeClock())
+        submit(sched, seed=1, backend="compiled")
+        submit(sched, seed=2, backend="fast")
+        submit(sched, seed=3, backend="compiled")
+        submit(sched, seed=4, backend="fast", priority=0)
+        classes = sched.queued_classes()
+        assert [c[1] for c in classes] == ["fast", "compiled"]
+
+    def test_prefer_class_seeds_the_batch(self):
+        sched = Scheduler(clock=FakeClock())
+        submit(sched, seed=1, backend="compiled")  # globally most urgent
+        t_fast = submit(sched, seed=2, backend="fast")
+        batch = sched.next_batch(prefer_class=t_fast.batch_class)
+        assert [t.request["backend"] for t in batch] == ["fast"]
+        # the passed-over compiled ticket heads the next round
+        assert [t.request["backend"]
+                for t in sched.next_batch()] == ["compiled"]
+
+    def test_prefer_class_with_no_queued_match_falls_back(self):
+        sched = Scheduler(clock=FakeClock())
+        submit(sched, seed=1, backend="compiled")
+        ghost = ("csrmv", "fast", "issr", 32)
+        batch = sched.next_batch(prefer_class=ghost)
+        assert [t.request["backend"] for t in batch] == ["compiled"]
+
+    def test_affinity_does_not_override_priority_within_class(self):
+        sched = Scheduler(clock=FakeClock())
+        submit(sched, seed=1, backend="fast", priority=5)
+        urgent = submit(sched, seed=2, backend="fast", priority=0)
+        batch = sched.next_batch(prefer_class=urgent.batch_class)
+        assert batch[0] is urgent

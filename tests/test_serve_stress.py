@@ -234,3 +234,48 @@ class TestCacheCorruption:
         again = serve.request(payload, wait_timeout=60)
         assert again["cached"] is False
         assert again["digest"] == first["digest"]
+
+
+class TestDataPlaneGuards:
+    """CI guards on the shared-memory data plane under load."""
+
+    def test_no_shm_leak_after_mixed_traffic(self, serve):
+        """After a burst of mixed operand-carrying and workload
+        requests, the arena holds zero live segments and /dev/shm
+        holds nothing under this service's name tag."""
+        from repro.serve import shm
+
+        operands = {"matrix": random_csr(24, 96, 256, seed=9000),
+                    "x": random_dense_vector(96, seed=9050)}
+        payloads = [csrmv_payload(9000 + i, backend="fast")
+                    for i in range(8)]
+        payloads += [{"kernel": "csrmv", "backend": "fast",
+                      "operands": operands} for _ in range(8)]
+        responses = serve.submit_many(payloads, wait_timeout=180)
+        assert all(isinstance(r, dict) and r["ok"] for r in responses)
+
+        stats = serve.stats()
+        assert stats["shm"]["live"] == 0, "leaked operand segments"
+        tag = serve.service.arena.tag
+        leaked = [n for n in shm.list_segments()
+                  if n.startswith(f"{shm.SEGMENT_PREFIX}{tag}")]
+        assert leaked == [], f"segments left in /dev/shm: {leaked}"
+
+    def test_dispatch_keeps_at_least_two_batches_in_flight(self, serve):
+        """The pipelining guard: under concurrent load, the dispatch
+        loop must overlap batches across workers — the in-flight
+        histogram's high-water mark proves >= 2 were in flight at
+        once (a serializing regression would flatline it at 1)."""
+        payloads = [csrmv_payload(9200 + i,
+                                  backend=("fast", "compiled")[i % 2])
+                    for i in range(24)]
+        responses = serve.submit_many(payloads, wait_timeout=180)
+        assert all(isinstance(r, dict) and r["ok"] for r in responses)
+
+        snapshot = serve.metrics()["snapshot"]
+        metric = snapshot["metrics"]["repro_serve_inflight_batches"]
+        [series] = metric["series"]
+        assert series["count"] > 0
+        assert series["max"] >= 2, \
+            (f"in-flight high-water mark {series['max']} — dispatch "
+             f"is serializing batches instead of pipelining them")
